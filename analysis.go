@@ -1,0 +1,683 @@
+package nexus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nexus/internal/bins"
+	"nexus/internal/core"
+	"nexus/internal/extract"
+	"nexus/internal/infotheory"
+	"nexus/internal/missing"
+	"nexus/internal/ned"
+	"nexus/internal/sqlx"
+	"nexus/internal/stats"
+	"nexus/internal/subgroups"
+	"nexus/internal/table"
+)
+
+// Analysis is a prepared explanation problem: the executed query, its
+// analysis view, the encoded exposure and outcome, and the full candidate
+// set (input columns + extracted KG attributes with IPW wiring). The same
+// Analysis can be fed to MESA and to every baseline, which is how the
+// comparison harness keeps methods on identical inputs.
+type Analysis struct {
+	Query  *sqlx.Query
+	Result *sqlx.Result
+	// View is the context-filtered relation being explained.
+	View *table.Table
+	// T and O are the encoded exposure and outcome over View.
+	T, O *bins.Encoded
+	// Candidates is 𝒜 = ℰ ∪ 𝒯 \ {O, T}.
+	Candidates []*core.Candidate
+	// Extraction is the KG extraction over View (nil without a graph).
+	Extraction *extract.Extraction
+	// LinkStats records NED outcomes per link column.
+	LinkStats map[string]ned.Stats
+
+	session   *Session
+	binOpts   bins.Options
+	byName    map[string]*core.Candidate
+	numBiased int32
+}
+
+// adaptiveBins picks the discretization granularity from the view size:
+// coarse bins keep the plug-in estimators and the permutation tests
+// informative on small relations (Covid-19 has one row per country), while
+// large relations support the full 8 bins.
+// permuteObserved shuffles the non-missing codes among the non-missing
+// positions, preserving the missingness pattern — the correct null model
+// when missingness is value-dependent (a full shuffle would compare
+// statistics computed over different complete-case subpopulations).
+func permuteObserved(codes []int32, rng *stats.RNG) []int32 {
+	out := make([]int32, len(codes))
+	copy(out, codes)
+	idx := make([]int, 0, len(codes))
+	for i, c := range out {
+		if c != bins.Missing {
+			idx = append(idx, i)
+		}
+	}
+	rng.Shuffle(len(idx), func(a, b int) {
+		out[idx[a]], out[idx[b]] = out[idx[b]], out[idx[a]]
+	})
+	return out
+}
+
+func adaptiveBins(rows int) int {
+	switch {
+	case rows < 600:
+		return 4
+	case rows < 4000:
+		return 6
+	default:
+		return 8
+	}
+}
+
+// Prepare parses and executes sql, then assembles the explanation problem.
+func (s *Session) Prepare(sql string) (*Analysis, error) {
+	q, err := sqlx.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.PrepareQuery(q)
+}
+
+// PrepareQuery is Prepare for a pre-parsed query.
+func (s *Session) PrepareQuery(q *sqlx.Query) (*Analysis, error) {
+	res, err := sqlx.Execute(q, s.catalog)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Query:     q,
+		Result:    res,
+		View:      res.View,
+		LinkStats: map[string]ned.Stats{},
+		session:   s,
+		binOpts:   s.opts.Bins,
+		byName:    map[string]*core.Candidate{},
+	}
+	if a.binOpts.Bins == 0 || s.opts.AutoBins {
+		a.binOpts.Bins = adaptiveBins(res.View.NumRows())
+	}
+
+	// Encode exposure (possibly multiple grouping attributes) and outcome.
+	parts := make([]*bins.Encoded, 0, len(res.Exposure))
+	for _, g := range res.Exposure {
+		e, err := bins.Encode(res.View.MustColumn(g), a.binOpts)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	a.T = core.CombineExposure(parts)
+	a.O, err = bins.Encode(res.View.MustColumn(res.Outcome), a.binOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Input-table candidates: every view column except T, O and the WHERE
+	// attributes (constants within the context).
+	exclude := append([]string{res.Outcome}, res.Exposure...)
+	for _, c := range q.Where {
+		exclude = append(exclude, c.Attr)
+	}
+	exclude = append(exclude, s.excludes[q.Table]...)
+	inputCands, err := core.CandidatesFromTable(res.View, exclude, a.binOpts)
+	if err != nil {
+		return nil, err
+	}
+	a.Candidates = append(a.Candidates, inputCands...)
+
+	// KG candidates over the view.
+	if s.graph != nil {
+		links := s.linkColumnsIn(q.Table, res.View)
+		if len(links) > 0 {
+			ex, err := extract.Extract(res.View, links, s.graph, s.linker, extract.Options{
+				Hops:      s.opts.Hops,
+				OneToMany: s.opts.OneToMany,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a.Extraction = ex
+			for lc, st := range ex.LinkStats {
+				a.LinkStats[lc] = st
+			}
+			for _, attr := range ex.Attrs {
+				a.Candidates = append(a.Candidates, s.kgCandidate(a, attr))
+			}
+		}
+	}
+	for _, c := range a.Candidates {
+		a.byName[c.Name] = c
+	}
+	return a, nil
+}
+
+// linkColumnsIn returns the registered link columns still present in view.
+func (s *Session) linkColumnsIn(tableName string, view *table.Table) []string {
+	var out []string
+	for _, lc := range s.links[tableName] {
+		if view.HasColumn(lc) {
+			out = append(out, lc)
+		}
+	}
+	return out
+}
+
+// kgCandidate wraps an extracted attribute as a core.Candidate with lazy
+// encoding and lazy IPW weights (selection-bias detection + logistic
+// propensity fit at entity level, broadcast to rows).
+func (s *Session) kgCandidate(a *Analysis, attr *extract.Attribute) *core.Candidate {
+	c := &core.Candidate{
+		Name:   attr.Name,
+		Origin: core.OriginKG,
+		Hops:   attr.Hops,
+	}
+	// Entity-level uniqueness statistics drive the high-entropy prune, but
+	// only for categorical attributes: a continuous numeric attribute is
+	// naturally unique per entity and becomes low-cardinality after
+	// binning, whereas a near-unique string (wikiID, Leader) is an
+	// identifier the paper prunes.
+	if attr.Col.Typ == table.String {
+		c.EntityCard = attr.Col.DistinctCount()
+		c.EntityComplete = attr.Col.Len() - attr.Col.NullCount()
+	}
+	c.Enc = func() (*bins.Encoded, error) { return attr.Encode(a.binOpts) }
+
+	// Permutation at entity granularity: shuffle the entity-level codes
+	// across slots, then broadcast through the row→slot mapping. This is the
+	// null model of the responsibility test for extracted attributes.
+	c.Permute = func(rng *stats.RNG) (*bins.Encoded, error) {
+		ent, err := attr.EntityEncode(a.binOpts)
+		if err != nil {
+			return nil, err
+		}
+		codes := permuteObserved(ent.Codes, rng)
+		slots := attr.RowSlots()
+		out := &bins.Encoded{Name: attr.Name, Card: ent.Card, Labels: ent.Labels, Codes: make([]int32, len(slots))}
+		for i, sl := range slots {
+			if sl < 0 {
+				out.Codes[i] = bins.Missing
+			} else {
+				out.Codes[i] = codes[sl]
+			}
+		}
+		return out, nil
+	}
+
+	// Fast marginal permutation test via an outcome×slot contingency
+	// table: permuting an attribute at entity granularity only regroups
+	// slot columns, so each permuted statistic costs O(#slots · |O|)
+	// instead of O(#rows).
+	var contOnce sync.Once
+	var oSlot [][]float64 // [oCode][slot] counts over rows with both present
+	c.FastMarginalPerm = func(o *bins.Encoded, b, allow int, seed uint64) (bool, bool) {
+		ent, err := attr.EntityEncode(a.binOpts)
+		if err != nil || ent.Card == 0 {
+			return false, false
+		}
+		slots := attr.RowSlots()
+		contOnce.Do(func() {
+			oSlot = make([][]float64, o.Card)
+			for i := range oSlot {
+				oSlot[i] = make([]float64, attr.Col.Len())
+			}
+			for i, sl := range slots {
+				oc := o.Codes[i]
+				if sl < 0 || oc == bins.Missing {
+					continue
+				}
+				oSlot[oc][sl]++
+			}
+		})
+		observed := slotMI(oSlot, ent.Codes, ent.Card)
+		if observed <= 0 {
+			return false, true
+		}
+		exceed := 0
+		rng := stats.NewRNG(seed*0x9e3779b9 + hashString(attr.Name))
+		for t := 0; t < b; t++ {
+			perm := permuteObserved(ent.Codes, rng)
+			if slotMI(oSlot, perm, ent.Card) >= observed {
+				exceed++
+				if exceed > allow {
+					return false, true
+				}
+			}
+		}
+		return true, true
+	}
+
+	if s.opts.DisableIPW {
+		return c
+	}
+	var once sync.Once
+	var weights []float64
+	c.Weights = func(enc *bins.Encoded) []float64 {
+		once.Do(func() { weights = s.ipwWeights(a, attr) })
+		return weights
+	}
+	return c
+}
+
+// slotMI computes I(O; E) where E assigns entity slots to codes, from a
+// precomputed outcome×slot contingency table.
+func slotMI(oSlot [][]float64, slotCodes []int32, card int) float64 {
+	cardO := len(oSlot)
+	joint := make([]float64, cardO*card)
+	eTot := make([]float64, card)
+	oTot := make([]float64, cardO)
+	total := 0.0
+	for oc := 0; oc < cardO; oc++ {
+		row := oSlot[oc]
+		for sl, cnt := range row {
+			if cnt == 0 {
+				continue
+			}
+			ec := slotCodes[sl]
+			if ec == bins.Missing {
+				continue
+			}
+			joint[oc*card+int(ec)] += cnt
+			eTot[ec] += cnt
+			oTot[oc] += cnt
+			total += cnt
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	mi := 0.0
+	for oc := 0; oc < cardO; oc++ {
+		for ec := 0; ec < card; ec++ {
+			pj := joint[oc*card+ec]
+			if pj <= 0 {
+				continue
+			}
+			mi += pj / total * math.Log2(total*pj/(oTot[oc]*eTot[ec]))
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ipwWeights detects selection bias for one extracted attribute and, when
+// found, returns row-level IPW weights (nil otherwise). Missingness of an
+// extracted attribute is an entity-level event, so both the detection and
+// the propensity model run at entity (slot) level and are broadcast through
+// the row→slot mapping.
+func (s *Session) ipwWeights(a *Analysis, attr *extract.Attribute) []float64 {
+	slots := attr.RowSlots()
+	nSlots := attr.Col.Len()
+	if nSlots == 0 {
+		return nil
+	}
+	// Slot-level mean outcome (the observed variable R_E may depend on).
+	out := a.View.MustColumn(a.Result.Outcome)
+	sum := make([]float64, nSlots)
+	cnt := make([]float64, nSlots)
+	for i, sl := range slots {
+		if sl < 0 || out.IsNull(i) {
+			continue
+		}
+		sum[sl] += out.Float(i)
+		cnt[sl]++
+	}
+	meanO := make([]float64, nSlots)
+	for i := range meanO {
+		if cnt[i] > 0 {
+			meanO[i] = sum[i] / cnt[i]
+		} else {
+			meanO[i] = math.NaN()
+		}
+	}
+	meanOEnc, err := bins.Encode(table.NewFloatColumn("meanO", meanO), a.binOpts)
+	if err != nil {
+		return nil
+	}
+	entEnc, err := attr.EntityEncode(a.binOpts)
+	if err != nil {
+		return nil
+	}
+	rep := missing.DetectBias(entEnc, map[string]*bins.Encoded{"O": meanOEnc}, s.opts.BiasThreshold)
+	if !rep.Biased {
+		return nil
+	}
+	atomic.AddInt32(&a.numBiased, 1)
+	slotW := missing.Weights(entEnc, meanO)
+	w := make([]float64, len(slots))
+	for i, sl := range slots {
+		if sl >= 0 {
+			w[i] = slotW[sl]
+		}
+	}
+	return w
+}
+
+// NumBiased returns the number of KG attributes flagged with selection bias
+// so far (detection is lazy; the count is complete after an Explain).
+func (a *Analysis) NumBiased() int { return int(atomic.LoadInt32(&a.numBiased)) }
+
+// KGCandidate wraps an extracted attribute (typically a modified copy, e.g.
+// with injected missingness) as a candidate with the session's usual lazy
+// encoding and IPW wiring.
+func (a *Analysis) KGCandidate(attr *extract.Attribute) *core.Candidate {
+	return a.session.kgCandidate(a, attr)
+}
+
+// Candidate returns the named candidate, or nil.
+func (a *Analysis) Candidate(name string) *core.Candidate { return a.byName[name] }
+
+// Explain runs the full MESA pipeline on the prepared analysis.
+func (a *Analysis) Explain() (*Report, error) {
+	ex, err := core.Explain(a.T, a.O, a.Candidates, a.session.opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Analysis: a, Explanation: ex}, nil
+}
+
+// Report is the result of explaining one query.
+type Report struct {
+	Analysis    *Analysis
+	Explanation *core.Explanation
+}
+
+// Explain is the one-call entry point: parse, execute, prepare, explain.
+func (s *Session) Explain(sql string) (*Report, error) {
+	a, err := s.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return a.Explain()
+}
+
+// Summary renders a human-readable report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	ex := r.Explanation
+	fmt.Fprintf(&b, "query: %s\n", r.Analysis.Query.String())
+	fmt.Fprintf(&b, "I(O;T|C) = %.4f bits (unexplained correlation)\n", ex.BaseScore)
+	if len(ex.Attrs) == 0 {
+		b.WriteString("no explanation found\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "explanation (I(O;T|C,E) = %.4f, %.1f%% explained):\n",
+		ex.Score, 100*(1-safeRatio(ex.Score, ex.BaseScore)))
+	for _, attr := range ex.Attrs {
+		fmt.Fprintf(&b, "  %-40s origin=%-5s responsibility=%.2f\n", attr.Name, attr.Origin, attr.Responsibility)
+	}
+	fmt.Fprintf(&b, "candidates: %d (%d with selection bias, IPW applied)\n",
+		len(r.Analysis.Candidates), r.Analysis.NumBiased())
+	fmt.Fprintf(&b, "elapsed: %v\n", ex.Elapsed)
+	return b.String()
+}
+
+// ExplainedFraction returns 1 - Score/BaseScore (clamped to [0,1]).
+func (r *Report) ExplainedFraction() float64 {
+	f := 1 - safeRatio(r.Explanation.Score, r.Explanation.BaseScore)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Subgroups finds the top-k largest context refinements where the report's
+// explanation fails (Algorithm 2). tau ≤ 0 selects the paper-style default
+// of max(0.2, 2× the explanation score).
+func (r *Report) Subgroups(k int, tau float64) ([]subgroups.Group, subgroups.Stats, error) {
+	if tau <= 0 {
+		tau = 2 * r.Explanation.Score
+		if tau < 0.2 {
+			tau = 0.2
+		}
+	}
+	encs, err := r.explanationEncodings()
+	if err != nil {
+		return nil, subgroups.Stats{}, err
+	}
+	attrs, err := r.Analysis.refinementAttrs()
+	if err != nil {
+		return nil, subgroups.Stats{}, err
+	}
+	return subgroups.TopUnexplained(r.Analysis.T, r.Analysis.O, encs, attrs, subgroups.Options{K: k, Tau: tau})
+}
+
+// ExplainSubgroup re-explains the query inside one unexplained subgroup —
+// the paper's Example 4.5 workflow: after Algorithm 2 surfaces "Continent ==
+// Europe", the analyst refines the context and obtains a different
+// explanation for that group. Refinements over input-table columns become
+// WHERE conjuncts on the original query; refinements over extracted
+// attributes are not expressible in SQL over the input table and return an
+// error.
+func (r *Report) ExplainSubgroup(g subgroups.Group) (*Report, error) {
+	q := *r.Analysis.Query
+	q.Where = append([]sqlx.Condition(nil), q.Where...)
+	for _, cond := range g.Conds {
+		if !r.Analysis.View.HasColumn(cond.Attr) {
+			return nil, fmt.Errorf("nexus: subgroup condition on extracted attribute %q cannot be refined in SQL", cond.Attr)
+		}
+		q.Where = append(q.Where, sqlx.Condition{Attr: cond.Attr, Op: sqlx.OpEq, IsStr: true, Str: cond.Value})
+	}
+	a, err := r.Analysis.session.PrepareQuery(&q)
+	if err != nil {
+		return nil, err
+	}
+	return a.Explain()
+}
+
+// explanationEncodings re-derives the encodings of the selected attributes.
+func (r *Report) explanationEncodings() ([]*bins.Encoded, error) {
+	var out []*bins.Encoded
+	for _, attr := range r.Explanation.Attrs {
+		c := r.Analysis.Candidate(attr.Name)
+		if c == nil {
+			return nil, fmt.Errorf("nexus: selected attribute %q not among candidates", attr.Name)
+		}
+		e, err := c.Enc()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// refinementAttrs picks the categorical dimensions for subgroup discovery:
+// input columns first, then low-cardinality KG attributes, capped for
+// tractability.
+func (a *Analysis) refinementAttrs() ([]subgroups.RefinementAttr, error) {
+	const maxAttrs = 24
+	var out []subgroups.RefinementAttr
+	exclude := map[string]bool{a.Result.Outcome: true}
+	for _, g := range a.Result.Exposure {
+		exclude[g] = true
+	}
+	for _, col := range a.View.Columns() {
+		if exclude[col.Name] || col.Typ != table.String {
+			continue
+		}
+		e, err := bins.Encode(col, a.binOpts)
+		if err != nil {
+			return nil, err
+		}
+		if a.refinementEligible(e) {
+			out = append(out, subgroups.RefinementAttr{Name: col.Name, Enc: e})
+			if len(out) >= maxAttrs {
+				return out, nil
+			}
+		}
+	}
+	if a.Extraction != nil {
+		names := append([]string(nil), a.Extraction.Names()...)
+		sort.Strings(names)
+		for _, name := range names {
+			attr := a.Extraction.Attr(name)
+			if attr.Col.Typ != table.String {
+				continue
+			}
+			e, err := attr.Encode(a.binOpts)
+			if err != nil {
+				return nil, err
+			}
+			if e.MissingFraction() > 0.5 || !a.refinementEligible(e) {
+				continue
+			}
+			out = append(out, subgroups.RefinementAttr{Name: name, Enc: e})
+			if len(out) >= maxAttrs {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// refinementEligible admits a categorical attribute as a subgroup dimension
+// when it is either low-cardinality or has at least one value covering ≥5%
+// of the rows (so high-cardinality attributes with a dominant shared value,
+// like Currency == Euro, still produce large groups).
+func (a *Analysis) refinementEligible(e *bins.Encoded) bool {
+	if e.Card < 2 || e.Card > 256 {
+		return false
+	}
+	if e.Card <= a.session.opts.MaxRefinementCard {
+		return true
+	}
+	counts := make([]int, e.Card)
+	for _, c := range e.Codes {
+		if c != bins.Missing {
+			counts[c]++
+		}
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	return float64(top) >= 0.05*float64(len(e.Codes))
+}
+
+// PartialCorrelations computes, for each named numeric attribute, the
+// linear partial correlation between the outcome and that attribute
+// controlling for the remaining named attributes — the regression-based
+// alternative dependence measure the paper discusses in §2.2. It lets an
+// analyst cross-check an information-theoretic explanation with a familiar
+// linear statistic. Categorical attributes are skipped (reported as NaN).
+func (a *Analysis) PartialCorrelations(names []string) (map[string]float64, error) {
+	outcome := a.View.MustColumn(a.Result.Outcome).Floats()
+	series := make(map[string][]float64, len(names))
+	for _, n := range names {
+		vals, ok := a.rawSeries(n)
+		if !ok {
+			series[n] = nil
+			continue
+		}
+		series[n] = vals
+	}
+	out := make(map[string]float64, len(names))
+	for _, n := range names {
+		if series[n] == nil {
+			out[n] = math.NaN()
+			continue
+		}
+		var controls [][]float64
+		for _, m := range names {
+			if m != n && series[m] != nil {
+				controls = append(controls, series[m])
+			}
+		}
+		out[n] = stats.PartialCorr(outcome, series[n], controls...)
+	}
+	return out, nil
+}
+
+// rawSeries returns the raw numeric values of a named candidate attribute
+// over the view (false for categorical or unknown attributes).
+func (a *Analysis) rawSeries(name string) ([]float64, bool) {
+	if col := a.View.Column(name); col != nil {
+		if col.Typ == table.Float || col.Typ == table.Int {
+			return col.Floats(), true
+		}
+		return nil, false
+	}
+	if a.Extraction != nil {
+		if attr := a.Extraction.Attr(name); attr != nil {
+			if attr.Col.Typ == table.Float || attr.Col.Typ == table.Int {
+				return attr.Materialize().Floats(), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Responsibility re-ranks an explicit attribute set by Def. 2.5 and returns
+// name → responsibility. It lets analysts probe sets beyond the one MCIMR
+// selected.
+func (a *Analysis) Responsibility(names []string) (map[string]float64, error) {
+	encs := make([]*bins.Encoded, len(names))
+	for i, n := range names {
+		c := a.Candidate(n)
+		if c == nil {
+			return nil, fmt.Errorf("nexus: unknown attribute %q", n)
+		}
+		e, err := c.Enc()
+		if err != nil {
+			return nil, err
+		}
+		encs[i] = e
+	}
+	full := infotheory.CondMutualInfo(a.O, a.T, encs, nil)
+	out := make(map[string]float64, len(names))
+	if len(names) == 1 {
+		out[names[0]] = 1
+		return out, nil
+	}
+	var denom float64
+	drops := make([]float64, len(names))
+	for i := range names {
+		without := make([]*bins.Encoded, 0, len(encs)-1)
+		for j, e := range encs {
+			if j != i {
+				without = append(without, e)
+			}
+		}
+		drops[i] = infotheory.CondMutualInfo(a.O, a.T, without, nil) - full
+		denom += drops[i]
+	}
+	for i, n := range names {
+		if denom != 0 {
+			out[n] = drops[i] / denom
+		}
+	}
+	return out, nil
+}

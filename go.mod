@@ -1,0 +1,3 @@
+module nexus
+
+go 1.22

@@ -1,0 +1,372 @@
+// Package baselines implements the competitor methods of the paper's
+// evaluation (§5): Brute-Force (the Def. 2.3 optimum by exhaustive subset
+// search), Top-K (max-relevance only), Linear Regression (OLS coefficients),
+// a HypDB-style causal-analysis method, and MESA- (MCIMR without pruning).
+// All of them produce a uniform Result so the user-study and explainability
+// harnesses can compare methods directly.
+package baselines
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"nexus/internal/bins"
+	"nexus/internal/core"
+	"nexus/internal/infotheory"
+	"nexus/internal/stats"
+)
+
+// Method names as reported in Tables 2–3.
+const (
+	MethodBruteForce = "Brute-Force"
+	MethodMESA       = "MESA"
+	MethodMESAMinus  = "MESA-"
+	MethodTopK       = "Top-K"
+	MethodLR         = "LR"
+	MethodHypDB      = "HypDB"
+)
+
+// Result is a method's explanation for one query.
+type Result struct {
+	Method  string
+	Attrs   []string
+	Score   float64 // explainability score I(O;T|E); lower is better
+	Elapsed time.Duration
+	Failed  bool // method produced no explanation (LR can fail; paper §5.1)
+}
+
+// MESA runs the full system (pruning + MCIMR).
+func MESA(t, o *bins.Encoded, cands []*core.Candidate, opts core.Options) (*Result, error) {
+	ex, err := core.Explain(t, o, cands, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Method: MethodMESA, Attrs: ex.Names(), Score: ex.Score, Elapsed: ex.Elapsed, Failed: len(ex.Attrs) == 0}, nil
+}
+
+// MESAMinus runs MCIMR without the query-specific (online) pruning
+// optimizations. The across-queries preprocessing filters stay on: they run
+// at ingestion time in the paper's system (§4.2), so even the paper's
+// "MESA-" rows in Table 2 never contain raw identifiers like wikiID.
+func MESAMinus(t, o *bins.Encoded, cands []*core.Candidate, opts core.Options) (*Result, error) {
+	opts.DisableOnlinePrune = true
+	ex, err := core.Explain(t, o, cands, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Method: MethodMESAMinus, Attrs: ex.Names(), Score: ex.Score, Elapsed: ex.Elapsed, Failed: len(ex.Attrs) == 0}, nil
+}
+
+// BruteForceOptions bounds the exhaustive search.
+type BruteForceOptions struct {
+	// MaxSize bounds subset cardinality (paper's k, default 5).
+	MaxSize int
+	// MaxCandidates keeps only the most relevant candidates before
+	// enumerating subsets; 0 means 18. Without a cap the search is 2^|A|
+	// (the reason the paper could not run Brute-Force on SO or Flights).
+	MaxCandidates int
+	// MinSupport is the minimum average complete-case rows per occupied
+	// conditioning stratum for a subset to be considered estimable
+	// (default 4). Without it the Def. 2.3 objective degenerates: joint
+	// conditioning on enough attributes shatters every stratum to a single
+	// row and the plug-in CMI reads an artificial 0. Support shrinks
+	// monotonically as sets grow, so infeasible branches are pruned.
+	MinSupport float64
+}
+
+// BruteForce computes the Def. 2.3 optimum argmin I(O;T|E)·|E| by exhaustive
+// enumeration of attribute subsets (after relevance capping). Ties prefer
+// smaller then lexicographically-earlier sets.
+func BruteForce(t, o *bins.Encoded, cands []*core.Candidate, opts BruteForceOptions) (*Result, error) {
+	start := time.Now()
+	if opts.MaxSize <= 0 {
+		opts.MaxSize = 5
+	}
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 18
+	}
+	if opts.MinSupport <= 0 {
+		opts.MinSupport = 4
+	}
+	ranked, err := rankByRelevance(t, o, cands)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranked) > opts.MaxCandidates {
+		ranked = ranked[:opts.MaxCandidates]
+	}
+	n := len(ranked)
+	bestObj := math.Inf(1)
+	var bestSet []int
+	var bestScore float64
+
+	encs := make([]*bins.Encoded, n)
+	ws := make([][]float64, n)
+	for i, r := range ranked {
+		encs[i] = r.enc
+		ws[i] = r.weights
+	}
+
+	var cur []int
+	var recur func(next int)
+	recur = func(next int) {
+		if len(cur) > 0 {
+			sel := make([]*bins.Encoded, len(cur))
+			var wsel [][]float64
+			for i, idx := range cur {
+				sel[i] = encs[idx]
+				if ws[idx] != nil {
+					wsel = append(wsel, ws[idx])
+				}
+			}
+			// Feasibility: enough complete cases per occupied stratum.
+			// Support only shrinks as the set grows, so an infeasible set
+			// prunes its whole branch.
+			if !supported(sel, opts.MinSupport) {
+				return
+			}
+			score := infotheory.CondMutualInfo(o, t, sel, productWeights(wsel, t.Len()))
+			obj := score * float64(len(cur))
+			if obj < bestObj-1e-12 {
+				bestObj = obj
+				bestScore = score
+				bestSet = append(bestSet[:0], cur...)
+			}
+		}
+		if len(cur) == opts.MaxSize {
+			return
+		}
+		for i := next; i < n; i++ {
+			cur = append(cur, i)
+			recur(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	recur(0)
+
+	res := &Result{Method: MethodBruteForce, Score: bestScore, Elapsed: time.Since(start)}
+	for _, idx := range bestSet {
+		res.Attrs = append(res.Attrs, ranked[idx].cand.Name)
+	}
+	res.Failed = len(res.Attrs) == 0
+	return res, nil
+}
+
+// TopK ranks candidates by individual explanation power (minimal
+// I(O;T|C,E), i.e. max-relevance with no redundancy term) and returns the
+// best k — the paper's Top-K baseline.
+func TopK(t, o *bins.Encoded, cands []*core.Candidate, k int) (*Result, error) {
+	start := time.Now()
+	if k <= 0 {
+		k = 5
+	}
+	ranked, err := rankByRelevance(t, o, cands)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	res := &Result{Method: MethodTopK, Elapsed: time.Since(start)}
+	sel := make([]*bins.Encoded, 0, len(ranked))
+	var wsel [][]float64
+	for _, r := range ranked {
+		res.Attrs = append(res.Attrs, r.cand.Name)
+		sel = append(sel, r.enc)
+		if r.weights != nil {
+			wsel = append(wsel, r.weights)
+		}
+	}
+	res.Score = infotheory.CondMutualInfo(o, t, sel, productWeights(wsel, t.Len()))
+	res.Failed = len(res.Attrs) == 0
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+type rankedCand struct {
+	cand      *core.Candidate
+	enc       *bins.Encoded
+	weights   []float64
+	relevance float64
+}
+
+// rankByRelevance computes the individual relevance of every candidate and
+// sorts ascending (lower CMI explains more).
+func rankByRelevance(t, o *bins.Encoded, cands []*core.Candidate) ([]rankedCand, error) {
+	out := make([]rankedCand, 0, len(cands))
+	for _, c := range cands {
+		enc, err := c.Enc()
+		if err != nil {
+			return nil, err
+		}
+		var w []float64
+		if c.Weights != nil {
+			w = c.Weights(enc)
+		}
+		rel := infotheory.CondMutualInfo(o, t, []infotheory.Var{enc}, w)
+		out = append(out, rankedCand{cand: c, enc: enc, weights: w, relevance: rel})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].relevance < out[b].relevance })
+	return out, nil
+}
+
+// supported reports whether the joint conditioning set leaves at least
+// minSupport complete rows per occupied stratum on average.
+func supported(sel []*bins.Encoded, minSupport float64) bool {
+	if len(sel) == 0 {
+		return true
+	}
+	n := sel[0].Len()
+	ids, _ := infotheory.DenseIDs(sel, n)
+	seen := make(map[int32]struct{})
+	complete := 0
+	for _, id := range ids {
+		if id >= 0 {
+			complete++
+			seen[id] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return false
+	}
+	return float64(complete)/float64(len(seen)) >= minSupport
+}
+
+func productWeights(ws [][]float64, n int) []float64 {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	copy(out, ws[0])
+	for _, w := range ws[1:] {
+		for i := range out {
+			out[i] *= w[i]
+		}
+	}
+	return out
+}
+
+// NamedSeries is a raw numeric candidate column for the LR baseline.
+type NamedSeries struct {
+	Name   string
+	Values []float64 // NaN = missing
+}
+
+// LROptions tunes the Linear Regression baseline.
+type LROptions struct {
+	K             int     // explanation size (default 5)
+	PValue        float64 // significance cutoff (paper: 0.05)
+	MaxPredictors int     // cap on jointly-fitted predictors (default 40)
+	MaxMissing    float64 // drop series with more missing than this (default 0.5)
+}
+
+// LinearRegression implements the paper's LR baseline: fit OLS of the
+// outcome on (standardized) candidate attributes and return the top-k
+// attributes by absolute coefficient among those with p < PValue. It can
+// fail (Failed=true) when no coefficient is significant — the behaviour the
+// paper reports for several queries.
+func LinearRegression(outcome []float64, series []NamedSeries, t, o *bins.Encoded, encOf func(name string) *bins.Encoded, opts LROptions) *Result {
+	start := time.Now()
+	if opts.K <= 0 {
+		opts.K = 5
+	}
+	if opts.PValue <= 0 {
+		opts.PValue = 0.05
+	}
+	if opts.MaxPredictors <= 0 {
+		opts.MaxPredictors = 40
+	}
+	if opts.MaxMissing <= 0 {
+		opts.MaxMissing = 0.5
+	}
+	res := &Result{Method: MethodLR, Failed: true, Score: math.NaN()}
+
+	// Filter sparse series, mean-impute, standardize; pre-rank by |corr| to
+	// respect the predictor cap.
+	type prepared struct {
+		name string
+		vals []float64
+		corr float64
+	}
+	var preps []prepared
+	for _, s := range series {
+		miss := 0
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				miss++
+			}
+		}
+		if len(s.Values) == 0 || float64(miss)/float64(len(s.Values)) > opts.MaxMissing {
+			continue
+		}
+		m := stats.Mean(s.Values)
+		sd := stats.StdDev(s.Values)
+		if sd == 0 || math.IsNaN(sd) || math.IsNaN(m) {
+			continue
+		}
+		vals := make([]float64, len(s.Values))
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				vals[i] = 0 // standardized mean
+			} else {
+				vals[i] = (v - m) / sd
+			}
+		}
+		c := stats.Pearson(vals, outcome)
+		if math.IsNaN(c) {
+			continue
+		}
+		preps = append(preps, prepared{s.Name, vals, math.Abs(c)})
+	}
+	sort.SliceStable(preps, func(a, b int) bool { return preps[a].corr > preps[b].corr })
+	if len(preps) > opts.MaxPredictors {
+		preps = preps[:opts.MaxPredictors]
+	}
+	if len(preps) == 0 {
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	xs := make([][]float64, len(preps))
+	for i, p := range preps {
+		xs[i] = p.vals
+	}
+	fit, err := stats.OLS(outcome, xs...)
+	if err != nil {
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	type scored struct {
+		name string
+		coef float64
+	}
+	var sig []scored
+	for i, p := range preps {
+		if fit.PValue[i+1] < opts.PValue {
+			sig = append(sig, scored{p.name, math.Abs(fit.Coef[i+1])})
+		}
+	}
+	sort.SliceStable(sig, func(a, b int) bool { return sig[a].coef > sig[b].coef })
+	if len(sig) > opts.K {
+		sig = sig[:opts.K]
+	}
+	if len(sig) == 0 {
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	res.Failed = false
+	var sel []*bins.Encoded
+	for _, s := range sig {
+		res.Attrs = append(res.Attrs, s.name)
+		if encOf != nil {
+			if e := encOf(s.name); e != nil {
+				sel = append(sel, e)
+			}
+		}
+	}
+	if len(sel) > 0 {
+		res.Score = infotheory.CondMutualInfo(o, t, sel, nil)
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,148 @@
+package baselines
+
+import (
+	"sort"
+	"time"
+
+	"nexus/internal/bins"
+	"nexus/internal/core"
+	"nexus/internal/infotheory"
+	"nexus/internal/stats"
+)
+
+// HypDBOptions tunes the HypDB-style baseline.
+type HypDBOptions struct {
+	// K is the explanation size (top-k covariates by responsibility).
+	K int
+	// MaxAttrs caps the candidate set by uniform random sampling, exactly
+	// as the paper had to do (|A| ≤ 50) to make HypDB terminate. 0 = 50.
+	MaxAttrs int
+	// MaxParentSet bounds the exponential covariate-set search (default 3).
+	// The search cost is Σ C(n, i) for i ≤ MaxParentSet — the exponential
+	// blow-up that makes HypDB unable to scale (§5.1).
+	MaxParentSet int
+	// CIThreshold is the conditional-independence threshold of the
+	// covariate-detection tests. Default 0.02.
+	CIThreshold float64
+	// Seed drives the random candidate capping.
+	Seed uint64
+}
+
+// HypDB implements the relevant behaviour of the HypDB comparator (Salimi et
+// al. 2018): detect covariates by conditional-independence tests (an
+// attribute is a potential confounder when it is dependent on both T and O), search covariate subsets exhaustively for the set that most
+// reduces I(O;T|·), and rank the attributes of the best set (plus remaining
+// covariates) by individual responsibility. Its cost is exponential in the
+// number of covariates, which is why the candidate set must be capped.
+func HypDB(t, o *bins.Encoded, cands []*core.Candidate, opts HypDBOptions) (*Result, error) {
+	start := time.Now()
+	if opts.K <= 0 {
+		opts.K = 5
+	}
+	if opts.MaxAttrs <= 0 {
+		opts.MaxAttrs = 50
+	}
+	if opts.MaxParentSet <= 0 {
+		opts.MaxParentSet = 3
+	}
+	if opts.CIThreshold <= 0 {
+		opts.CIThreshold = 0.02
+	}
+
+	// Cap candidates uniformly at random (paper §5.1).
+	working := cands
+	if len(working) > opts.MaxAttrs {
+		rng := stats.NewRNG(opts.Seed)
+		perm := rng.Perm(len(working))
+		capped := make([]*core.Candidate, opts.MaxAttrs)
+		for i := range capped {
+			capped[i] = working[perm[i]]
+		}
+		working = capped
+	}
+
+	// Covariate detection: dependent on T, and on O given T.
+	type covariate struct {
+		cand *core.Candidate
+		enc  *bins.Encoded
+		drop float64 // I(O;T) - I(O;T|E)
+	}
+	base := infotheory.MutualInfo(o, t, nil)
+	var covs []covariate
+	for _, c := range working {
+		enc, err := c.Enc()
+		if err != nil {
+			return nil, err
+		}
+		if infotheory.CondIndependent(enc, t, nil, nil, opts.CIThreshold) {
+			continue
+		}
+		// Marginal dependence on the outcome. (Testing O given T is
+		// degenerate for entity-level attributes: T determines the entity,
+		// so I(E;O|T) is exactly 0 even for true confounders.)
+		if infotheory.CondIndependent(enc, o, nil, nil, opts.CIThreshold) {
+			continue
+		}
+		drop := base - infotheory.CondMutualInfo(o, t, []infotheory.Var{enc}, nil)
+		covs = append(covs, covariate{cand: c, enc: enc, drop: drop})
+	}
+	sort.SliceStable(covs, func(a, b int) bool { return covs[a].drop > covs[b].drop })
+
+	// Exponential parent-set search over the covariates (bounded): find the
+	// subset that minimizes I(O;T|S).
+	searchPool := covs
+	if len(searchPool) > 20 {
+		searchPool = searchPool[:20] // keep the demo tractable; cost is still Σ C(20,≤3)
+	}
+	bestScore := base
+	var bestSet []int
+	var cur []int
+	var recur func(next int)
+	recur = func(next int) {
+		if len(cur) > 0 {
+			sel := make([]*bins.Encoded, len(cur))
+			for i, idx := range cur {
+				sel[i] = searchPool[idx].enc
+			}
+			if s := infotheory.CondMutualInfo(o, t, sel, nil); s < bestScore {
+				bestScore = s
+				bestSet = append(bestSet[:0], cur...)
+			}
+		}
+		if len(cur) == opts.MaxParentSet {
+			return
+		}
+		for i := next; i < len(searchPool); i++ {
+			cur = append(cur, i)
+			recur(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	recur(0)
+
+	res := &Result{Method: MethodHypDB, Elapsed: time.Since(start), Score: bestScore}
+	seen := map[string]bool{}
+	for _, idx := range bestSet {
+		name := searchPool[idx].cand.Name
+		res.Attrs = append(res.Attrs, name)
+		seen[name] = true
+	}
+	// Fill to K with the highest-responsibility remaining covariates.
+	for _, cv := range covs {
+		if len(res.Attrs) >= opts.K {
+			break
+		}
+		if !seen[cv.cand.Name] && cv.drop > 0 {
+			res.Attrs = append(res.Attrs, cv.cand.Name)
+			seen[cv.cand.Name] = true
+		}
+	}
+	if len(res.Attrs) > opts.K {
+		res.Attrs = res.Attrs[:opts.K]
+	}
+	res.Failed = len(res.Attrs) == 0
+	if res.Failed {
+		res.Score = base
+	}
+	return res, nil
+}

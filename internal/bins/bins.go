@@ -1,0 +1,274 @@
+// Package bins discretizes table columns into compact integer codes, the
+// representation consumed by the information-theoretic estimators in
+// package infotheory. Numeric columns are binned (equal-width or
+// equal-frequency); categorical columns reuse their dictionary codes.
+// A missing value is always code -1.
+package bins
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nexus/internal/table"
+)
+
+// Missing is the code assigned to null values.
+const Missing int32 = -1
+
+// Strategy selects how numeric columns are discretized.
+type Strategy int
+
+// Discretization strategies.
+const (
+	EqualFrequency Strategy = iota // quantile bins (default; robust to skew)
+	EqualWidth                     // uniform-width bins over [min, max]
+)
+
+// Encoded is a discretized column: Codes[i] ∈ [0, Card) or Missing.
+type Encoded struct {
+	Name   string
+	Codes  []int32
+	Card   int      // number of distinct codes (bins or categories)
+	Labels []string // human-readable label per code (may be nil)
+}
+
+// Len returns the number of rows.
+func (e *Encoded) Len() int { return len(e.Codes) }
+
+// MissingCount returns the number of Missing codes.
+func (e *Encoded) MissingCount() int {
+	n := 0
+	for _, c := range e.Codes {
+		if c == Missing {
+			n++
+		}
+	}
+	return n
+}
+
+// MissingFraction returns the fraction of Missing codes (0 on empty input).
+func (e *Encoded) MissingFraction() float64 {
+	if len(e.Codes) == 0 {
+		return 0
+	}
+	return float64(e.MissingCount()) / float64(len(e.Codes))
+}
+
+// Gather returns a new Encoded restricted to the given row indices.
+func (e *Encoded) Gather(idx []int) *Encoded {
+	out := &Encoded{Name: e.Name, Card: e.Card, Labels: e.Labels}
+	out.Codes = make([]int32, len(idx))
+	for i, r := range idx {
+		out.Codes[i] = e.Codes[r]
+	}
+	return out
+}
+
+// Options controls discretization.
+type Options struct {
+	Bins     int      // number of bins for numeric columns; default 8
+	Strategy Strategy // default EqualFrequency
+}
+
+// DefaultOptions matches the estimator settings used across nexus.
+func DefaultOptions() Options { return Options{Bins: 8, Strategy: EqualFrequency} }
+
+// Encode discretizes a column. Categorical (String/Bool) columns map each
+// distinct value to a code; numeric columns are binned per opts. Numeric
+// columns whose distinct count is at most opts.Bins are treated as
+// categorical (each value its own code) to avoid lossy binning.
+func Encode(c *table.Column, opts Options) (*Encoded, error) {
+	if opts.Bins <= 0 {
+		opts.Bins = 8
+	}
+	switch c.Typ {
+	case table.String:
+		return encodeString(c), nil
+	case table.Bool:
+		return encodeBool(c), nil
+	case table.Float, table.Int:
+		return encodeNumeric(c, opts)
+	default:
+		return nil, fmt.Errorf("bins: unsupported column type %v", c.Typ)
+	}
+}
+
+// MustEncode is Encode with DefaultOptions, panicking on error; for internal
+// pipelines where the column type is known to be supported.
+func MustEncode(c *table.Column) *Encoded {
+	e, err := Encode(c, DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func encodeString(c *table.Column) *Encoded {
+	n := c.Len()
+	e := &Encoded{Name: c.Name, Codes: make([]int32, n)}
+	// Re-map dictionary codes to a dense range of the values actually used.
+	remap := make(map[int32]int32)
+	var labels []string
+	for i := 0; i < n; i++ {
+		if c.IsNull(i) {
+			e.Codes[i] = Missing
+			continue
+		}
+		dc := c.Code(i)
+		code, ok := remap[dc]
+		if !ok {
+			code = int32(len(labels))
+			remap[dc] = code
+			labels = append(labels, c.StringAt(i))
+		}
+		e.Codes[i] = code
+	}
+	e.Card = len(labels)
+	e.Labels = labels
+	return e
+}
+
+func encodeBool(c *table.Column) *Encoded {
+	n := c.Len()
+	e := &Encoded{Name: c.Name, Codes: make([]int32, n), Card: 2, Labels: []string{"false", "true"}}
+	for i := 0; i < n; i++ {
+		if c.IsNull(i) {
+			e.Codes[i] = Missing
+			continue
+		}
+		v, _ := c.BoolAt(i)
+		if v {
+			e.Codes[i] = 1
+		}
+	}
+	return e
+}
+
+func encodeNumeric(c *table.Column, opts Options) (*Encoded, error) {
+	n := c.Len()
+	// Collect non-null values.
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if !c.IsNull(i) {
+			vals = append(vals, c.Float(i))
+		}
+	}
+	e := &Encoded{Name: c.Name, Codes: make([]int32, n)}
+	if len(vals) == 0 {
+		for i := range e.Codes {
+			e.Codes[i] = Missing
+		}
+		e.Card = 0
+		return e, nil
+	}
+
+	distinct := distinctSorted(vals)
+	if len(distinct) <= opts.Bins {
+		// Few distinct values: one code per value.
+		codeOf := make(map[float64]int32, len(distinct))
+		labels := make([]string, len(distinct))
+		for i, v := range distinct {
+			codeOf[v] = int32(i)
+			labels[i] = fmt.Sprintf("%g", v)
+		}
+		for i := 0; i < n; i++ {
+			if c.IsNull(i) {
+				e.Codes[i] = Missing
+			} else {
+				e.Codes[i] = codeOf[c.Float(i)]
+			}
+		}
+		e.Card = len(distinct)
+		e.Labels = labels
+		return e, nil
+	}
+
+	edges := binEdges(vals, distinct, opts)
+	labels := make([]string, len(edges)+1)
+	for i := range labels {
+		lo, hi := "-inf", "+inf"
+		if i > 0 {
+			lo = fmt.Sprintf("%.4g", edges[i-1])
+		}
+		if i < len(edges) {
+			hi = fmt.Sprintf("%.4g", edges[i])
+		}
+		labels[i] = fmt.Sprintf("[%s, %s)", lo, hi)
+	}
+	for i := 0; i < n; i++ {
+		if c.IsNull(i) {
+			e.Codes[i] = Missing
+			continue
+		}
+		e.Codes[i] = int32(sort.SearchFloat64s(edges, c.Float(i)+tiny(c.Float(i))))
+	}
+	e.Card = len(edges) + 1
+	e.Labels = labels
+	return e, nil
+}
+
+// tiny nudges the search so values exactly equal to an edge land in the
+// upper bin, giving half-open [lo, hi) intervals.
+func tiny(v float64) float64 {
+	return math.Abs(v)*1e-12 + 1e-300
+}
+
+func binEdges(vals, distinct []float64, opts Options) []float64 {
+	k := opts.Bins
+	if opts.Strategy == EqualWidth {
+		lo, hi := distinct[0], distinct[len(distinct)-1]
+		width := (hi - lo) / float64(k)
+		edges := make([]float64, 0, k-1)
+		for i := 1; i < k; i++ {
+			edges = append(edges, lo+width*float64(i))
+		}
+		return dedupEdges(edges)
+	}
+	// Equal frequency: quantile cut points.
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	edges := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		q := float64(i) / float64(k)
+		pos := q * float64(len(sorted)-1)
+		edges = append(edges, sorted[int(pos)])
+	}
+	return dedupEdges(edges)
+}
+
+func dedupEdges(edges []float64) []float64 {
+	out := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e > out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func distinctSorted(vals []float64) []float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EncodeTable encodes every column of t with the same options, returning the
+// encodings keyed by column name.
+func EncodeTable(t *table.Table, opts Options) (map[string]*Encoded, error) {
+	out := make(map[string]*Encoded, t.NumCols())
+	for _, c := range t.Columns() {
+		e, err := Encode(c, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bins: column %q: %w", c.Name, err)
+		}
+		out[c.Name] = e
+	}
+	return out, nil
+}

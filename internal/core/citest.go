@@ -1,0 +1,55 @@
+package core
+
+import (
+	"nexus/internal/bins"
+	"nexus/internal/infotheory"
+	"nexus/internal/stats"
+)
+
+// permDependent reports whether the observed statistic I(O; E | given)
+// significantly exceeds its permutation null: the candidate's values are
+// shuffled at source granularity (entities for KG attributes, preserving
+// the missingness pattern) and the observed value must exceed all but
+// `allow` of the b permuted statistics — a one-sided test at
+// p ≤ (allow+1)/(b+1).
+//
+// This is the calibrated dependence test used by the responsibility test
+// (Lemma 4.2) and by the permutation variant of the low-relevance prune:
+// entity-level attributes correlate with the outcome by chance at entity
+// granularity, which row-level χ² corrections cannot account for.
+func permDependent(o *bins.Encoded, cand *Candidate, enc *bins.Encoded, given []infotheory.Var,
+	b, allow, parallelism int, seed uint64) bool {
+
+	observed := infotheory.CondMutualInfo(o, enc, given, nil)
+	if observed <= 0 {
+		return false
+	}
+	exceed := make([]bool, b)
+	base := seed*0x9e3779b9 + uint64(len(given))*1000003 + hashName(cand.Name)
+	parallelFor(b, parallelism, func(i int) {
+		pe, err := cand.Permute(stats.NewRNG(base + uint64(i)*0x45d9f3b))
+		if err != nil {
+			exceed[i] = true // conservative: failure counts as a null exceedance
+			return
+		}
+		if infotheory.CondMutualInfo(o, pe, given, nil) >= observed {
+			exceed[i] = true
+		}
+	})
+	count := 0
+	for _, e := range exceed {
+		if e {
+			count++
+		}
+	}
+	return count <= allow
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"nexus/internal/bins"
+	"nexus/internal/infotheory"
+	"nexus/internal/stats"
+	"nexus/internal/table"
+)
+
+// scenario builds a confounded dataset:
+//
+//	Z1, Z2 latent uniform{0..3} confounders
+//	T = f(Z1, Z2) + noise, O = g(Z1, Z2) + noise
+//
+// plus distractor candidates. Returns T, O encodings and the candidates.
+type scenario struct {
+	t, o  *bins.Encoded
+	z1    *Candidate
+	z1dup *Candidate // near-copy of z1 (redundant)
+	z2    *Candidate
+	noise *Candidate
+	all   []*Candidate
+}
+
+func buildScenario(tb testing.TB, n int, seed uint64) *scenario {
+	tb.Helper()
+	rng := stats.NewRNG(seed)
+	z1v := make([]string, n)
+	z1dupv := make([]string, n)
+	z2v := make([]string, n)
+	tv := make([]string, n)
+	ov := make([]string, n)
+	noisev := make([]string, n)
+	for i := 0; i < n; i++ {
+		z1 := rng.Intn(4)
+		z2 := rng.Intn(4)
+		z1v[i] = fmt.Sprintf("a%d", z1)
+		z2v[i] = fmt.Sprintf("b%d", z2)
+		// Duplicate of z1 with 5% corruption.
+		if rng.Float64() < 0.05 {
+			z1dupv[i] = fmt.Sprintf("a%d", rng.Intn(4))
+		} else {
+			z1dupv[i] = z1v[i]
+		}
+		tcode := z1*4 + z2
+		if rng.Float64() < 0.15 {
+			tcode = rng.Intn(16)
+		}
+		tv[i] = fmt.Sprintf("t%d", tcode)
+		oc := z1 + z2
+		if rng.Float64() < 0.15 {
+			oc = rng.Intn(7)
+		}
+		ov[i] = fmt.Sprintf("o%d", oc)
+		noisev[i] = fmt.Sprintf("n%d", rng.Intn(4))
+	}
+	mk := func(name string, vals []string) *bins.Encoded {
+		e, err := bins.Encode(table.NewStringColumn(name, vals), bins.DefaultOptions())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return e
+	}
+	s := &scenario{t: mk("T", tv), o: mk("O", ov)}
+	s.z1 = FromEncoded(mk("Z1", z1v), OriginKG)
+	s.z1dup = FromEncoded(mk("Z1copy", z1dupv), OriginKG)
+	s.z2 = FromEncoded(mk("Z2", z2v), OriginKG)
+	s.noise = FromEncoded(mk("Noise", noisev), OriginKG)
+	s.all = []*Candidate{s.noise, s.z1dup, s.z1, s.z2}
+	return s
+}
+
+func TestExplainFindsConfounders(t *testing.T) {
+	s := buildScenario(t, 8000, 1)
+	res, err := Explain(s.t, s.o, s.all, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.Names()
+	if len(names) < 2 {
+		t.Fatalf("explanation = %v, want both confounders", names)
+	}
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	if !(got["Z1"] || got["Z1copy"]) || !got["Z2"] {
+		t.Fatalf("explanation = %v, want {Z1|Z1copy, Z2}", names)
+	}
+	if got["Noise"] {
+		t.Fatalf("noise selected: %v", names)
+	}
+	// Explanation must reduce the correlation substantially.
+	if res.Score > res.BaseScore/3 {
+		t.Fatalf("score %.3f not ≪ base %.3f", res.Score, res.BaseScore)
+	}
+}
+
+func TestMCIMRAvoidsRedundantDuplicate(t *testing.T) {
+	s := buildScenario(t, 8000, 2)
+	sel, err := MCIMR(s.t, s.o, s.all, Options{K: 2, RespThreshold: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Attrs) != 2 {
+		t.Fatalf("selected %d attrs", len(sel.Attrs))
+	}
+	n0, n1 := sel.Attrs[0].Name, sel.Attrs[1].Name
+	isZ1 := func(n string) bool { return n == "Z1" || n == "Z1copy" }
+	if isZ1(n0) && isZ1(n1) {
+		t.Fatalf("MCIMR selected redundant pair {%s, %s}", n0, n1)
+	}
+}
+
+func TestResponsibilityTestStopsEarly(t *testing.T) {
+	s := buildScenario(t, 8000, 3)
+	res, err := Explain(s.t, s.o, s.all, Options{K: 5, RespThreshold: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only two real confounders exist; K=5 must not force 5 attributes.
+	if len(res.Attrs) > 3 {
+		t.Fatalf("explanation size %d; responsibility test failed to stop", len(res.Attrs))
+	}
+}
+
+func TestResponsibilitiesSumToOne(t *testing.T) {
+	s := buildScenario(t, 8000, 4)
+	res, err := Explain(s.t, s.o, s.all, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attrs) < 2 {
+		t.Skip("explanation too small for responsibility check")
+	}
+	sum := 0.0
+	for _, a := range res.Attrs {
+		sum += a.Responsibility
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("responsibilities sum to %v", sum)
+	}
+	// The two real confounders must carry essentially all responsibility;
+	// an attribute that slipped past the ≈0 stopping test may carry a tiny
+	// (even slightly negative) share.
+	for _, a := range res.Attrs {
+		if a.Responsibility < -0.05 {
+			t.Fatalf("attribute %s has substantially negative responsibility %v", a.Name, a.Responsibility)
+		}
+	}
+	top := res.Attrs[0].Responsibility + res.Attrs[1].Responsibility
+	if top < 0.9 {
+		t.Fatalf("top-2 responsibility = %v, want ≥ 0.9", top)
+	}
+}
+
+func TestSingleAttrResponsibilityIsOne(t *testing.T) {
+	s := buildScenario(t, 4000, 5)
+	res, err := Explain(s.t, s.o, []*Candidate{s.z1}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attrs) != 1 || res.Attrs[0].Responsibility != 1 {
+		t.Fatalf("attrs = %+v", res.Attrs)
+	}
+}
+
+func TestExplainEmptyCandidates(t *testing.T) {
+	s := buildScenario(t, 1000, 6)
+	res, err := Explain(s.t, s.o, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attrs) != 0 {
+		t.Fatal("explanation from no candidates")
+	}
+	if math.Abs(res.Score-res.BaseScore) > 1e-9 {
+		t.Fatal("empty explanation should leave score at base")
+	}
+}
+
+func TestOfflinePruneRules(t *testing.T) {
+	n := 500
+	rng := stats.NewRNG(7)
+	constant := make([]string, n)
+	unique := make([]string, n)
+	missing := make([]float64, n)
+	ok := make([]string, n)
+	for i := 0; i < n; i++ {
+		constant[i] = "same"
+		unique[i] = fmt.Sprintf("id%06d", i)
+		missing[i] = math.NaN()
+		if rng.Float64() < 0.05 {
+			missing[i] = rng.Norm()
+		}
+		ok[i] = fmt.Sprintf("v%d", rng.Intn(4))
+	}
+	mk := func(name string, vals []string) *Candidate {
+		c, err := FromColumn(table.NewStringColumn(name, vals), bins.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	mc, err := FromColumn(table.NewFloatColumn("mostlyMissing", missing), bins.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []*Candidate{mk("const", constant), mk("wikiID", unique), mc, mk("good", ok)}
+	kept, stats, err := OfflinePrune(cands, DefaultPruneOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || kept[0].Name != "good" {
+		t.Fatalf("kept = %v", names(kept))
+	}
+	if stats.Dropped[PruneConstant] != 1 || stats.Dropped[PruneUnique] != 1 || stats.Dropped[PruneMissing] != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestOfflinePruneEntityLevelUnique(t *testing.T) {
+	// A wikiID broadcast over many rows: row-level distinct ≪ rows, but
+	// entity-level it is unique and must be pruned.
+	n := 2000
+	vals := make([]string, n)
+	for i := 0; i < n; i++ {
+		vals[i] = fmt.Sprintf("Q%03d", i%100) // 100 entities × 20 rows
+	}
+	c, err := FromColumn(table.NewStringColumn("wikiID", vals), bins.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EntityCard = 100
+	c.EntityComplete = 100
+	kept, st, err := OfflinePrune([]*Candidate{c}, DefaultPruneOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 0 || st.Dropped[PruneUnique] != 1 {
+		t.Fatalf("entity-unique identifier not pruned: %+v", st)
+	}
+}
+
+func TestOnlinePruneLogicalDependency(t *testing.T) {
+	s := buildScenario(t, 4000, 8)
+	// CountryCode ⇔ T: a renaming of T's codes.
+	codes := make([]int32, s.t.Len())
+	copy(codes, s.t.Codes)
+	fd := FromEncoded(&bins.Encoded{Name: "Tcode", Codes: codes, Card: s.t.Card}, OriginKG)
+	kept, st, err := OnlinePrune(s.t, s.o, []*Candidate{fd, s.z1}, DefaultPruneOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped[PruneFD] != 1 {
+		t.Fatalf("FD attribute not pruned: %+v", st)
+	}
+	if len(kept) != 1 || kept[0].Name != "Z1" {
+		t.Fatalf("kept = %v", names(kept))
+	}
+}
+
+func TestOnlinePruneLowRelevance(t *testing.T) {
+	s := buildScenario(t, 8000, 9)
+	kept, st, err := OnlinePrune(s.t, s.o, []*Candidate{s.noise, s.z1}, DefaultPruneOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped[PruneIrrelevant] != 1 {
+		t.Fatalf("noise not pruned: %+v", st)
+	}
+	if len(kept) != 1 || kept[0].Name != "Z1" {
+		t.Fatalf("kept = %v", names(kept))
+	}
+}
+
+func TestExplainWithoutPruningStillWorks(t *testing.T) {
+	s := buildScenario(t, 6000, 10)
+	opts := DefaultOptions()
+	opts.DisableOfflinePrune = true
+	opts.DisableOnlinePrune = true
+	res, err := Explain(s.t, s.o, s.all, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, n := range res.Names() {
+		got[n] = true
+	}
+	if !(got["Z1"] || got["Z1copy"]) {
+		t.Fatalf("MESA- failed to find Z1: %v", res.Names())
+	}
+}
+
+func TestCombineExposure(t *testing.T) {
+	a := &bins.Encoded{Name: "a", Card: 2, Codes: []int32{0, 0, 1, 1, bins.Missing}}
+	b := &bins.Encoded{Name: "b", Card: 2, Codes: []int32{0, 1, 0, 1, 0}}
+	c := CombineExposure([]*bins.Encoded{a, b})
+	if c.Card != 4 {
+		t.Fatalf("card = %d, want 4", c.Card)
+	}
+	if c.Codes[4] != bins.Missing {
+		t.Fatal("missing part should make combined missing")
+	}
+	seen := map[int32]bool{}
+	for _, code := range c.Codes[:4] {
+		if seen[code] {
+			t.Fatal("distinct combinations collided")
+		}
+		seen[code] = true
+	}
+	// Single part passes through.
+	if CombineExposure([]*bins.Encoded{a}) != a {
+		t.Fatal("single exposure should pass through")
+	}
+}
+
+func TestCombineWeights(t *testing.T) {
+	if combineWeights(nil, nil) != nil {
+		t.Fatal("all-nil should be nil")
+	}
+	w := combineWeights([]float64{1, 2}, nil, []float64{3, 0})
+	if w[0] != 3 || w[1] != 0 {
+		t.Fatalf("combined = %v", w)
+	}
+	// Inputs unchanged.
+	w2 := []float64{5, 5}
+	_ = combineWeights(w2, []float64{2, 2})
+	if w2[0] != 5 {
+		t.Fatal("combineWeights mutated input")
+	}
+}
+
+func TestEvaluateSet(t *testing.T) {
+	s := buildScenario(t, 6000, 11)
+	e1, _ := s.z1.Enc()
+	e2, _ := s.z2.Enc()
+	base := infotheory.MutualInfo(s.o, s.t, nil)
+	both := EvaluateSet(s.t, s.o, []*bins.Encoded{e1, e2}, nil)
+	if both >= base/2 {
+		t.Fatalf("EvaluateSet = %.3f, base %.3f", both, base)
+	}
+}
+
+func TestCandidatesFromTable(t *testing.T) {
+	tbl := table.MustFromColumns(
+		table.NewStringColumn("T", []string{"a", "b"}),
+		table.NewFloatColumn("O", []float64{1, 2}),
+		table.NewStringColumn("X", []string{"p", "q"}),
+	)
+	cands, err := CandidatesFromTable(tbl, []string{"T", "O"}, bins.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Name != "X" || cands[0].Origin != OriginInput {
+		t.Fatalf("cands = %v", names(cands))
+	}
+}
+
+func TestParallelForMatchesSerial(t *testing.T) {
+	n := 1000
+	out := make([]int, n)
+	parallelFor(n, 8, func(i int) { out[i] = i * i })
+	for i := range out {
+		if out[i] != i*i {
+			t.Fatalf("index %d not processed", i)
+		}
+	}
+	// Degenerate worker counts.
+	parallelFor(3, 100, func(i int) { out[i] = -1 })
+	if out[0] != -1 || out[2] != -1 {
+		t.Fatal("workers > n broken")
+	}
+	parallelFor(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func names(cs []*Candidate) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"nexus/internal/bins"
+	"nexus/internal/infotheory"
+	"nexus/internal/stats"
+)
+
+// Options configures Explain / MCIMR.
+type Options struct {
+	// K bounds the explanation size (paper default 5). MCIMR may stop
+	// earlier via the responsibility test.
+	K int
+	// RespThreshold is the normalized-CMI threshold of the responsibility
+	// test (Lemma 4.2). Default 0.02.
+	RespThreshold float64
+	// PermTests is the number of permutations of the permutation-based
+	// responsibility test used for candidates that provide Permute.
+	// Default 19, with PermAllow exceedances tolerated (one-sided test at
+	// p ≤ (PermAllow+1)/(PermTests+1), so 0.1 by default). Candidates
+	// without Permute use the analytic debiased-CMI test.
+	PermTests int
+	// PermAllow is the number of permuted statistics allowed to reach the
+	// observed one before the candidate is declared independent (default 0:
+	// the observed statistic must beat every permutation; with the default
+	// PermTests of 19 that is a one-sided test at p ≤ 0.05). The argmin
+	// ordering of Algorithm 1 preferentially surfaces the candidates whose
+	// *chance* correlation is largest, so the strictest per-candidate level
+	// is appropriate.
+	PermAllow int
+	// MinGain is the minimum reduction of the joint score required to
+	// accept an attribute, as a fraction of the base score I(O;T|C)
+	// (default 0.05). For candidates that provide Permute the gain is
+	// additionally calibrated against a permutation null (see
+	// gainSignificant); MinGain alone guards the rest.
+	MinGain float64
+	// GainPermTests is the number of permutations of the calibrated gain
+	// test (default 9; one-sided p ≤ 0.1).
+	GainPermTests int
+	// SkipBudget bounds how many failing candidates (responsibility test
+	// or gain guard) are set aside across the whole run before MCIMR
+	// stops. Algorithm 1 as published stops at the *first* failing
+	// candidate; a bounded skip list keeps that behaviour in spirit while
+	// tolerating the occasional degenerate attribute (near-FD with a
+	// low-cardinality exposure) that reaches the argmin position first.
+	// Default 8.
+	SkipBudget int
+	// Seed makes the permutation test deterministic.
+	Seed uint64
+	// Parallelism bounds worker goroutines (default GOMAXPROCS).
+	Parallelism int
+	// Prune tunes §4.2; zero value means DefaultPruneOptions.
+	Prune PruneOptions
+	// DisableOfflinePrune / DisableOnlinePrune switch the optimizations off
+	// (the paper's MESA- and "No Pruning"/"Offline Pruning" baselines).
+	DisableOfflinePrune bool
+	DisableOnlinePrune  bool
+	// DisableStopping turns off the responsibility test and the gain guard,
+	// selecting exactly K attributes — the MRMR-style fixed-k behaviour the
+	// paper contrasts with its stopping criterion (§6, Feature Selection).
+	// Used by the ablation harness.
+	DisableStopping bool
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options {
+	return Options{K: 5, RespThreshold: 0.02, Prune: DefaultPruneOptions()}
+}
+
+func (o *Options) applyDefaults() {
+	if o.K <= 0 {
+		o.K = 5
+	}
+	if o.RespThreshold <= 0 {
+		o.RespThreshold = 0.02
+	}
+	if o.PermTests <= 0 {
+		o.PermTests = 19
+	}
+	if o.PermAllow < 0 {
+		o.PermAllow = 0
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 0.05
+	}
+	if o.MinGain < 0 {
+		o.MinGain = 0
+	}
+	if o.SkipBudget == 0 {
+		o.SkipBudget = 10
+	}
+	if o.GainPermTests <= 0 {
+		o.GainPermTests = 19
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Prune == (PruneOptions{}) {
+		o.Prune = DefaultPruneOptions()
+	}
+}
+
+// SelectedAttr is one member of an explanation.
+type SelectedAttr struct {
+	Name   string
+	Origin Origin
+	Hops   int
+	// Relevance is the attribute's individual conditional mutual
+	// information I(O;T|C,E) — lower explains more on its own.
+	Relevance float64
+	// Responsibility is the Def. 2.5 degree of responsibility within the
+	// final explanation.
+	Responsibility float64
+}
+
+// Explanation is the result of Explain.
+type Explanation struct {
+	Attrs []SelectedAttr
+	// BaseScore is I(O;T|C) — the unexplained correlation.
+	BaseScore float64
+	// Score is I(O;T|C,E) for the full selected set (the explainability
+	// score of §5.1; 0 = perfectly explained).
+	Score float64
+	// OfflineStats / OnlineStats summarize pruning.
+	OfflineStats PruneStats
+	OnlineStats  PruneStats
+	// Elapsed is the wall-clock duration of the whole Explain call.
+	Elapsed time.Duration
+}
+
+// Names returns the selected attribute names in selection order.
+func (e *Explanation) Names() []string {
+	out := make([]string, len(e.Attrs))
+	for i, a := range e.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Explain solves Correlation-Explanation for exposure t and outcome o over
+// the candidate attributes: prune (§4.2), select with MCIMR (Alg. 1), rank
+// by responsibility (Def. 2.5).
+func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation, error) {
+	opts.applyDefaults()
+	start := time.Now()
+
+	res := &Explanation{BaseScore: infotheory.MutualInfo(o, t, nil)}
+
+	working := cands
+	if !opts.DisableOfflinePrune {
+		var err error
+		var stats PruneStats
+		working, stats, err = OfflinePrune(working, opts.Prune)
+		if err != nil {
+			return nil, err
+		}
+		res.OfflineStats = stats
+	}
+	if !opts.DisableOnlinePrune {
+		var err error
+		var stats PruneStats
+		working, stats, err = OnlinePrune(t, o, working, opts.Prune)
+		if err != nil {
+			return nil, err
+		}
+		res.OnlineStats = stats
+	}
+
+	sel, err := MCIMR(t, o, working, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Attrs = sel.Attrs
+
+	// Final joint score and responsibilities over the selected set.
+	encs := sel.Encs
+	w := combineWeights(sel.Weights...)
+	res.Score = infotheory.CondMutualInfo(o, t, encs, w)
+	assignResponsibilities(t, o, res, encs, w)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Selection is the raw MCIMR output: the chosen attributes with their
+// encodings and per-attribute IPW weights (needed for joint scoring).
+type Selection struct {
+	Attrs   []SelectedAttr
+	Encs    []*bins.Encoded
+	Weights [][]float64
+}
+
+// MCIMR implements Algorithm 1: incremental selection by minimal conditional
+// mutual information and minimal redundancy, stopping at K attributes or
+// when the responsibility test (Lemma 4.2) fails for the next attribute.
+func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, error) {
+	opts.applyDefaults()
+	sel := &Selection{}
+	if len(cands) == 0 {
+		return sel, nil
+	}
+
+	type state struct {
+		cand      *Candidate
+		relevance float64 // I(O;T|C,E), computed once
+		redSum    float64 // Σ_{Ei selected} I(E;Ei), accumulated
+		selected  bool
+		skipped   bool
+		err       error
+	}
+	states := make([]*state, len(cands))
+	baseScore := infotheory.MutualInfo(o, t, nil)
+	currentScore := baseScore
+
+	// Pass 1: individual relevance of every candidate (parallel).
+	parallelFor(len(cands), opts.Parallelism, func(i int) {
+		st := &state{cand: cands[i]}
+		states[i] = st
+		enc, err := cands[i].Enc()
+		if err != nil {
+			st.err = err
+			return
+		}
+		w := weightsFor(cands[i], enc)
+		st.relevance = infotheory.CondMutualInfo(o, t, []infotheory.Var{enc}, w)
+	})
+	for _, st := range states {
+		if st.err != nil {
+			return nil, fmt.Errorf("core: MCIMR relevance pass: %w", st.err)
+		}
+	}
+
+	skipsLeft := opts.SkipBudget
+	for iter := 0; iter < opts.K; iter++ {
+		// NextBestAtt: minimize relevance + redundancy/|E| (Eq. 5).
+		// Candidates that fail the responsibility test or the gain guard
+		// are skipped (bounded by SkipBudget) and the next-best is tried.
+		var st *state
+		var enc *bins.Encoded
+		var w []float64
+		for st == nil {
+			bestIdx, bestScore := -1, math.Inf(1)
+			for i, cst := range states {
+				if cst.selected || cst.skipped {
+					continue
+				}
+				score := cst.relevance
+				if len(sel.Encs) > 0 {
+					score += cst.redSum / float64(len(sel.Encs))
+				}
+				if score < bestScore {
+					bestScore, bestIdx = score, i
+				}
+			}
+			if bestIdx < 0 {
+				return sel, nil // pool exhausted
+			}
+			cst := states[bestIdx]
+			e, err := cst.cand.Enc()
+			if err != nil {
+				return nil, err
+			}
+			cw := weightsFor(cst.cand, e)
+
+			// Responsibility test (Lemma 4.2): O ⊥ E | selected means the
+			// attribute's responsibility would be ≈ 0.
+			if !opts.DisableStopping && respIndependent(o, cst.cand, e, sel, cw, opts, iter) {
+				cst.skipped = true
+				skipsLeft--
+				if skipsLeft < 0 {
+					return sel, nil
+				}
+				continue
+			}
+			// Objective guard (Def. 2.3): accepting an attribute must
+			// reduce the joint score, and the reduction must be *real* —
+			// plug-in CMI shrinks under any extra conditioning (stratum
+			// shattering), so the gain is calibrated against permuted
+			// copies of the candidate, which shatter identically.
+			newScore := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, sel.Encs...), e),
+				combineWeights(append(append([][]float64(nil), sel.Weights...), cw)...))
+			if !opts.DisableStopping && (newScore >= currentScore-opts.MinGain*baseScore ||
+				!gainSignificant(t, o, cst.cand, e, sel, opts, iter)) {
+				cst.skipped = true
+				skipsLeft--
+				if skipsLeft < 0 {
+					return sel, nil
+				}
+				continue
+			}
+			currentScore = newScore
+			st, enc, w = cst, e, cw
+		}
+
+		st.selected = true
+		sel.Attrs = append(sel.Attrs, SelectedAttr{
+			Name:      st.cand.Name,
+			Origin:    st.cand.Origin,
+			Hops:      st.cand.Hops,
+			Relevance: st.relevance,
+		})
+		sel.Encs = append(sel.Encs, enc)
+		sel.Weights = append(sel.Weights, w)
+
+		if iter == opts.K-1 {
+			break
+		}
+		// Accumulate redundancy with the newly selected attribute
+		// (parallel over remaining candidates).
+		parallelFor(len(states), opts.Parallelism, func(i int) {
+			si := states[i]
+			if si.selected || si.skipped || si.err != nil {
+				return
+			}
+			encI, err := si.cand.Enc()
+			if err != nil {
+				si.err = err
+				return
+			}
+			wi := combineWeights(weightsFor(si.cand, encI), w)
+			si.redSum += infotheory.MutualInfo(encI, enc, wi)
+		})
+		for _, si := range states {
+			if si.err != nil {
+				return nil, fmt.Errorf("core: MCIMR redundancy pass: %w", si.err)
+			}
+		}
+	}
+	return sel, nil
+}
+
+// respIndependent runs the responsibility test for a selected candidate:
+// true means O ⊥ E | selected (adding E has ≈0 responsibility; stop).
+//
+// Candidates exposing Permute get a permutation test at their source
+// granularity: the observed I(O;E|selected) must exceed every one of
+// opts.PermTests permuted statistics (one-sided p < 1/(B+1)). This is the
+// calibration that matters for entity-level attributes, whose chance
+// correlation lives at entity rather than row granularity. Candidates
+// without Permute fall back to the analytic debiased-CMI test with IPW
+// weights.
+func respIndependent(o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *Selection, w []float64, opts Options, iter int) bool {
+	if cand.Permute == nil {
+		testW := combineWeights(append(append([][]float64(nil), sel.Weights...), w)...)
+		return infotheory.CondIndependent(o, enc, sel.Encs, testW, opts.RespThreshold)
+	}
+	return !permDependent(o, cand, enc, sel.Encs, opts.PermTests, opts.PermAllow, opts.Parallelism,
+		opts.Seed+uint64(iter))
+}
+
+// gainSignificant calibrates the joint-score reduction of a candidate
+// against its permutation null: the unweighted joint score with the real
+// candidate must undercut the joint score of all but PermAllow of
+// GainPermTests permuted copies. A permuted copy has identical cardinality
+// and missingness, so it shatters the contingency strata exactly as much —
+// any additional reduction must be genuine dependence. Candidates without
+// Permute pass (MinGain already screened them).
+func gainSignificant(t, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *Selection, opts Options, iter int) bool {
+	if cand.Permute == nil {
+		return true
+	}
+	observed := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, sel.Encs...), enc), nil)
+	b := opts.GainPermTests
+	exceed := make([]bool, b)
+	base := opts.Seed*0x2545f491 + uint64(iter)*7919 + hashName(cand.Name)
+	parallelFor(b, opts.Parallelism, func(i int) {
+		pe, err := cand.Permute(stats.NewRNG(base + uint64(i)*0x9e3779b9))
+		if err != nil {
+			exceed[i] = true
+			return
+		}
+		perm := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, sel.Encs...), pe), nil)
+		if perm <= observed {
+			exceed[i] = true // the permuted copy "explains" as much
+		}
+	})
+	count := 0
+	for _, e := range exceed {
+		if e {
+			count++
+		}
+	}
+	return count <= opts.PermAllow
+}
+
+// assignResponsibilities computes Def. 2.5 over the final explanation.
+func assignResponsibilities(t, o *bins.Encoded, res *Explanation, encs []*bins.Encoded, w []float64) {
+	k := len(encs)
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		res.Attrs[0].Responsibility = 1
+		return
+	}
+	full := res.Score
+	drops := make([]float64, k)
+	var denom float64
+	for i := 0; i < k; i++ {
+		without := make([]*bins.Encoded, 0, k-1)
+		for j := 0; j < k; j++ {
+			if j != i {
+				without = append(without, encs[j])
+			}
+		}
+		drops[i] = infotheory.CondMutualInfo(o, t, without, w) - full
+		denom += drops[i]
+	}
+	for i := 0; i < k; i++ {
+		if denom != 0 {
+			res.Attrs[i].Responsibility = drops[i] / denom
+		}
+	}
+}
+
+// EvaluateSet returns I(O;T|E) for an explicit attribute set — the
+// explainability score used throughout §5 — with optional weights.
+func EvaluateSet(t, o *bins.Encoded, encs []*bins.Encoded, w []float64) float64 {
+	return infotheory.CondMutualInfo(o, t, encs, w)
+}

@@ -1,0 +1,400 @@
+// Package extract mines candidate confounding attributes from a knowledge
+// graph for the entities appearing in an input table (§3.1).
+//
+// Extraction is entity-level: each distinct value of a link column is
+// resolved (package ned) to at most one entity, all reachable properties up
+// to Options.Hops are flattened into per-entity attribute values (the
+// universal relation), and row-level columns are materialized lazily by
+// broadcasting through the row→entity mapping. This keeps extraction and
+// encoding O(#entities) rather than O(#rows), which is what lets nexus
+// explain the 5.8M-row Flights dataset in seconds.
+package extract
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nexus/internal/bins"
+	"nexus/internal/kg"
+	"nexus/internal/ned"
+	"nexus/internal/table"
+)
+
+// Options controls extraction.
+type Options struct {
+	// Hops is the property-path depth (paper default 1; §5.4 evaluates 2).
+	Hops int
+	// OneToMany aggregates multi-valued numeric sub-properties
+	// ("Avg Population size of Ethnic Group"). Default table.AggMean.
+	OneToMany table.AggFunc
+}
+
+// DefaultOptions matches the paper's default configuration.
+func DefaultOptions() Options { return Options{Hops: 1, OneToMany: table.AggMean} }
+
+// Attribute is one extracted candidate attribute. Values live at entity
+// level (one row per slot of the link column); row-level views are produced
+// on demand.
+type Attribute struct {
+	// Name is the flattened property name ("HDI", "Leader Age",
+	// "Avg Population size of Ethnic Group", ...).
+	Name string
+	// LinkColumn is the base-table column whose entities carry the value.
+	LinkColumn string
+	// Hops is the path depth this attribute was extracted at (1-based).
+	Hops int
+	// Col holds the entity-level values, one row per slot.
+	Col *table.Column
+
+	rowSlot []int32 // shared per link column; base row → slot, -1 unresolved
+}
+
+// Materialize broadcasts the entity-level values to a row-level column
+// aligned with the base table.
+func (a *Attribute) Materialize() *table.Column {
+	out := table.NewColumn(a.Name, a.Col.Typ)
+	for _, s := range a.rowSlot {
+		if s < 0 || a.Col.IsNull(int(s)) {
+			out.AppendNull()
+			continue
+		}
+		switch a.Col.Typ {
+		case table.Float:
+			out.AppendFloat(a.Col.Float(int(s)))
+		case table.String:
+			out.AppendString(a.Col.StringAt(int(s)))
+		case table.Int:
+			v, _ := a.Col.Int(int(s))
+			out.AppendInt(v)
+		case table.Bool:
+			v, _ := a.Col.BoolAt(int(s))
+			out.AppendBool(v)
+		}
+	}
+	return out
+}
+
+// Encode discretizes the attribute at entity level and broadcasts the codes
+// to row level. Binning thresholds therefore reflect the entity-value
+// distribution (documented deviation: pyitlib binned row-level, which
+// differs only when group sizes are very uneven).
+func (a *Attribute) Encode(opts bins.Options) (*bins.Encoded, error) {
+	ent, err := bins.Encode(a.Col, opts)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]int32, len(a.rowSlot))
+	for i, s := range a.rowSlot {
+		if s < 0 {
+			codes[i] = bins.Missing
+		} else {
+			codes[i] = ent.Codes[s]
+		}
+	}
+	return &bins.Encoded{Name: a.Name, Codes: codes, Card: ent.Card, Labels: ent.Labels}, nil
+}
+
+// EntityEncode discretizes at entity level only (one code per slot).
+func (a *Attribute) EntityEncode(opts bins.Options) (*bins.Encoded, error) {
+	return bins.Encode(a.Col, opts)
+}
+
+// RowSlots exposes the base-row → entity-slot mapping (-1 = unresolved).
+func (a *Attribute) RowSlots() []int32 { return a.rowSlot }
+
+// WithColumn returns a copy of the attribute carrying a replacement
+// entity-level column (same length and slot alignment). Used by the
+// robustness harness to inject controlled missingness.
+func (a *Attribute) WithColumn(col *table.Column) *Attribute {
+	if col.Len() != a.Col.Len() {
+		panic(fmt.Sprintf("extract: WithColumn length %d != %d", col.Len(), a.Col.Len()))
+	}
+	return &Attribute{
+		Name:       a.Name,
+		LinkColumn: a.LinkColumn,
+		Hops:       a.Hops,
+		Col:        col,
+		rowSlot:    a.rowSlot,
+	}
+}
+
+// Extraction is the result of mining a knowledge source.
+type Extraction struct {
+	Base  *table.Table
+	Attrs []*Attribute
+	// LinkStats records NED outcomes per link column (distinct values).
+	LinkStats map[string]ned.Stats
+}
+
+// Attr returns the named attribute, or nil.
+func (e *Extraction) Attr(name string) *Attribute {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Names returns the attribute names in extraction order.
+func (e *Extraction) Names() []string {
+	out := make([]string, len(e.Attrs))
+	for i, a := range e.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Table materializes every attribute into a row-level table aligned with
+// Base. Intended for small datasets and exports; large datasets should use
+// the lazy per-attribute accessors.
+func (e *Extraction) Table() (*table.Table, error) {
+	out := table.New()
+	for _, a := range e.Attrs {
+		if err := out.AddColumn(a.Materialize()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Extract mines attributes for the entities referenced by linkCols of base.
+func Extract(base *table.Table, linkCols []string, g *kg.Graph, linker *ned.Linker, opts Options) (*Extraction, error) {
+	if opts.Hops <= 0 {
+		opts.Hops = 1
+	}
+	res := &Extraction{Base: base, LinkStats: make(map[string]ned.Stats)}
+	seenName := make(map[string]bool)
+
+	for _, lc := range linkCols {
+		col := base.Column(lc)
+		if col == nil {
+			return nil, fmt.Errorf("extract: link column %q not in table", lc)
+		}
+		if col.Typ != table.String {
+			return nil, fmt.Errorf("extract: link column %q must be a string column", lc)
+		}
+		attrs, err := extractColumn(base, col, g, linker, opts, res)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range attrs {
+			if seenName[a.Name] {
+				a.Name = fmt.Sprintf("%s (%s)", a.Name, lc)
+			}
+			if seenName[a.Name] {
+				continue // still colliding; drop
+			}
+			seenName[a.Name] = true
+			res.Attrs = append(res.Attrs, a)
+		}
+	}
+	return res, nil
+}
+
+func extractColumn(base *table.Table, col *table.Column, g *kg.Graph, linker *ned.Linker, opts Options, res *Extraction) ([]*Attribute, error) {
+	n := col.Len()
+
+	// Slot per distinct value; resolve each once.
+	linker.ResetStats()
+	slotOf := make(map[string]int32)
+	var slotEnt []kg.EntityID // entity per slot, -1 when unresolved
+	rowSlot := make([]int32, n)
+	for i := 0; i < n; i++ {
+		if col.IsNull(i) {
+			rowSlot[i] = -1
+			continue
+		}
+		v := col.StringAt(i)
+		s, ok := slotOf[v]
+		if !ok {
+			s = int32(len(slotEnt))
+			slotOf[v] = s
+			if id, out := linker.Link(v); out == ned.Linked {
+				slotEnt = append(slotEnt, id)
+			} else {
+				slotEnt = append(slotEnt, -1)
+			}
+		}
+		rowSlot[i] = s
+	}
+	res.LinkStats[col.Name] = linker.Stats()
+
+	// Flatten properties per slot into attribute builders.
+	b := newBuilderSet(len(slotEnt))
+	for s, ent := range slotEnt {
+		if ent < 0 {
+			continue
+		}
+		walkEntity(g, ent, "", 1, opts, b, s)
+	}
+	return b.build(col.Name, rowSlot), nil
+}
+
+// walkEntity flattens the properties of one entity into the builder set,
+// recursing through entity-valued properties up to opts.Hops.
+func walkEntity(g *kg.Graph, ent kg.EntityID, prefix string, depth int, opts Options, b *builderSet, slot int) {
+	for _, prop := range g.Properties(ent) {
+		vals := g.Values(ent, prop)
+		if len(vals) == 0 {
+			continue
+		}
+		name := prefix + prop
+		switch {
+		case len(vals) == 1 && vals[0].Kind == kg.NumValue:
+			b.setNum(name, depth, slot, vals[0].Num)
+		case len(vals) == 1 && vals[0].Kind == kg.StrValue:
+			b.setStr(name, depth, slot, vals[0].Str)
+		case len(vals) == 1 && vals[0].Kind == kg.EntValue:
+			target := vals[0].Ent
+			// The reference itself becomes a categorical attribute
+			// (e.g. Currency = "Euro").
+			b.setStr(name, depth, slot, g.Entity(target).Name)
+			if depth < opts.Hops {
+				walkEntity(g, target, name+" ", depth+1, opts, b, slot)
+			}
+		default:
+			// Multi-valued property.
+			if vals[0].Kind == kg.NumValue {
+				nums := make([]float64, 0, len(vals))
+				for _, v := range vals {
+					if v.Kind == kg.NumValue {
+						nums = append(nums, v.Num)
+					}
+				}
+				b.setNum(fmt.Sprintf("%s %s", aggLabel(opts.OneToMany), name), depth, slot, opts.OneToMany.Apply(nums))
+				continue
+			}
+			// Multi-valued entity references: count at this hop, aggregate
+			// numeric sub-properties one hop deeper.
+			b.setNum("Num "+name, depth, slot, float64(len(vals)))
+			if depth < opts.Hops {
+				aggEntityTargets(g, vals, name, depth, opts, b, slot)
+			}
+		}
+	}
+}
+
+// aggEntityTargets aggregates the numeric sub-properties of a multi-valued
+// entity property ("Avg Population size of Ethnic Group").
+func aggEntityTargets(g *kg.Graph, vals []kg.Value, name string, depth int, opts Options, b *builderSet, slot int) {
+	subVals := make(map[string][]float64)
+	for _, v := range vals {
+		if v.Kind != kg.EntValue {
+			continue
+		}
+		for _, sub := range g.Properties(v.Ent) {
+			if sv, ok := g.Value(v.Ent, sub); ok && sv.Kind == kg.NumValue {
+				subVals[sub] = append(subVals[sub], sv.Num)
+			}
+		}
+	}
+	subs := make([]string, 0, len(subVals))
+	for s := range subVals {
+		subs = append(subs, s)
+	}
+	sort.Strings(subs)
+	for _, sub := range subs {
+		attr := fmt.Sprintf("%s %s of %s", aggLabel(opts.OneToMany), sub, name)
+		b.setNum(attr, depth+1, slot, opts.OneToMany.Apply(subVals[sub]))
+	}
+}
+
+func aggLabel(fn table.AggFunc) string {
+	switch fn {
+	case table.AggMean:
+		return "Avg"
+	case table.AggSum:
+		return "Sum"
+	case table.AggMax:
+		return "Max"
+	case table.AggMin:
+		return "Min"
+	case table.AggFirst:
+		return "First"
+	case table.AggCount:
+		return "Count"
+	default:
+		return fn.String()
+	}
+}
+
+// builderSet accumulates per-slot attribute values with per-attribute kind
+// resolution (first value wins; later mismatched kinds become null).
+type builderSet struct {
+	slots int
+	m     map[string]*builder
+	order []string
+}
+
+type builder struct {
+	hops  int
+	isNum bool
+	nums  []float64 // NaN = unset
+	strs  []string  // "" = unset
+}
+
+func newBuilderSet(slots int) *builderSet {
+	return &builderSet{slots: slots, m: make(map[string]*builder)}
+}
+
+func (bs *builderSet) get(name string, hops int, num bool) *builder {
+	b, ok := bs.m[name]
+	if !ok {
+		b = &builder{hops: hops, isNum: num}
+		if num {
+			b.nums = makeNaN(bs.slots)
+		} else {
+			b.strs = make([]string, bs.slots)
+		}
+		bs.m[name] = b
+		bs.order = append(bs.order, name)
+	}
+	return b
+}
+
+func (bs *builderSet) setNum(name string, hops, slot int, v float64) {
+	b := bs.get(name, hops, true)
+	if b.isNum {
+		b.nums[slot] = v
+	}
+}
+
+func (bs *builderSet) setStr(name string, hops, slot int, v string) {
+	b := bs.get(name, hops, false)
+	if !b.isNum {
+		b.strs[slot] = v
+	}
+}
+
+func (bs *builderSet) build(linkCol string, rowSlot []int32) []*Attribute {
+	names := append([]string(nil), bs.order...)
+	sort.Strings(names)
+	out := make([]*Attribute, 0, len(names))
+	for _, name := range names {
+		b := bs.m[name]
+		var col *table.Column
+		if b.isNum {
+			col = table.NewFloatColumn(name, b.nums)
+		} else {
+			col = table.NewStringColumn(name, b.strs)
+		}
+		out = append(out, &Attribute{
+			Name:       name,
+			LinkColumn: linkCol,
+			Hops:       b.hops,
+			Col:        col,
+			rowSlot:    rowSlot,
+		})
+	}
+	return out
+}
+
+func makeNaN(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"nexus/internal/ned"
+	"nexus/internal/table"
+)
+
+// TableSource treats a collection of auxiliary tables (related tables, a
+// data lake) as the knowledge source — the paper's generalization beyond
+// knowledge graphs (§2.1/§3.1). For each link column of the input table, a
+// column of an auxiliary table is *joinable* when most of the link values
+// appear in it; the remaining columns of that table then become candidate
+// attributes, with one-to-many matches aggregated.
+type TableSource struct {
+	Tables map[string]*table.Table
+}
+
+// TableOptions controls data-lake extraction.
+type TableOptions struct {
+	// MinContainment is the joinability threshold: the fraction of distinct
+	// link values that must appear in a candidate join column (default 0.5).
+	MinContainment float64
+	// OneToMany aggregates multiple matching rows per entity for numeric
+	// columns (default mean); categorical columns take the first match.
+	OneToMany table.AggFunc
+}
+
+// Joinability returns the containment of the link column's distinct values
+// in the candidate column: |values(link) ∩ values(col)| / |values(link)|.
+// This is the standard joinability score of dataset-discovery systems.
+func Joinability(link, cand *table.Column) float64 {
+	if link.Typ != table.String || cand.Typ != table.String {
+		return 0
+	}
+	linkVals := distinctStrings(link)
+	if len(linkVals) == 0 {
+		return 0
+	}
+	candVals := make(map[string]bool)
+	for i := 0; i < cand.Len(); i++ {
+		if !cand.IsNull(i) {
+			candVals[cand.StringAt(i)] = true
+		}
+	}
+	hit := 0
+	for v := range linkVals {
+		if candVals[v] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(linkVals))
+}
+
+func distinctStrings(c *table.Column) map[string]bool {
+	out := make(map[string]bool)
+	for i := 0; i < c.Len(); i++ {
+		if !c.IsNull(i) {
+			out[c.StringAt(i)] = true
+		}
+	}
+	return out
+}
+
+// ExtractFromTables mines candidate attributes for the entities of the
+// link columns from the auxiliary tables: every sufficiently joinable
+// (table, key column) pair contributes its remaining columns, named
+// "<table>.<column>". The result uses the same entity-level Attribute
+// representation as KG extraction, so all downstream machinery (encoding,
+// IPW, pruning, MCIMR) applies unchanged.
+func ExtractFromTables(base *table.Table, linkCols []string, src *TableSource, opts TableOptions) (*Extraction, error) {
+	if opts.MinContainment <= 0 {
+		opts.MinContainment = 0.5
+	}
+	res := &Extraction{Base: base, LinkStats: map[string]ned.Stats{}}
+	seen := map[string]bool{}
+
+	tableNames := make([]string, 0, len(src.Tables))
+	for name := range src.Tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+
+	for _, lc := range linkCols {
+		link := base.Column(lc)
+		if link == nil {
+			return nil, fmt.Errorf("extract: link column %q not in table", lc)
+		}
+		if link.Typ != table.String {
+			return nil, fmt.Errorf("extract: link column %q must be a string column", lc)
+		}
+		// Slot per distinct link value.
+		slotOf := make(map[string]int32)
+		var slotVals []string
+		rowSlot := make([]int32, link.Len())
+		for i := 0; i < link.Len(); i++ {
+			if link.IsNull(i) {
+				rowSlot[i] = -1
+				continue
+			}
+			v := link.StringAt(i)
+			s, ok := slotOf[v]
+			if !ok {
+				s = int32(len(slotVals))
+				slotOf[v] = s
+				slotVals = append(slotVals, v)
+			}
+			rowSlot[i] = s
+		}
+
+		for _, tname := range tableNames {
+			aux := src.Tables[tname]
+			key, score := bestJoinKey(link, aux)
+			if key == "" || score < opts.MinContainment {
+				continue
+			}
+			attrs := extractJoin(tname, aux, key, slotOf, len(slotVals), rowSlot, opts)
+			for _, a := range attrs {
+				if seen[a.Name] {
+					a.Name = fmt.Sprintf("%s (%s)", a.Name, lc)
+				}
+				if seen[a.Name] {
+					continue
+				}
+				seen[a.Name] = true
+				a.LinkColumn = lc
+				res.Attrs = append(res.Attrs, a)
+			}
+		}
+	}
+	return res, nil
+}
+
+// bestJoinKey returns the aux column with the highest containment of the
+// link values.
+func bestJoinKey(link *table.Column, aux *table.Table) (string, float64) {
+	bestName, bestScore := "", 0.0
+	for _, c := range aux.Columns() {
+		if s := Joinability(link, c); s > bestScore {
+			bestName, bestScore = c.Name, s
+		}
+	}
+	return bestName, bestScore
+}
+
+// extractJoin builds entity-level attributes for every non-key column of
+// aux, matching link slots through the key column.
+func extractJoin(tname string, aux *table.Table, key string, slotOf map[string]int32, nSlots int, rowSlot []int32, opts TableOptions) []*Attribute {
+	keyCol := aux.MustColumn(key)
+	// slot → matching aux row indices.
+	matches := make([][]int, nSlots)
+	for i := 0; i < aux.NumRows(); i++ {
+		if keyCol.IsNull(i) {
+			continue
+		}
+		if s, ok := slotOf[keyCol.StringAt(i)]; ok {
+			matches[s] = append(matches[s], i)
+		}
+	}
+
+	var out []*Attribute
+	for _, c := range aux.Columns() {
+		if c.Name == key {
+			continue
+		}
+		name := tname + "." + c.Name
+		col := table.NewColumn(name, attrType(c.Typ))
+		for s := 0; s < nSlots; s++ {
+			rows := matches[s]
+			if len(rows) == 0 {
+				col.AppendNull()
+				continue
+			}
+			switch c.Typ {
+			case table.Float, table.Int, table.Bool:
+				vals := make([]float64, 0, len(rows))
+				for _, r := range rows {
+					if !c.IsNull(r) {
+						vals = append(vals, c.Float(r))
+					}
+				}
+				v := opts.OneToMany.Apply(vals)
+				if len(vals) == 0 {
+					col.AppendNull()
+				} else {
+					col.AppendFloat(v)
+				}
+			case table.String:
+				first := ""
+				for _, r := range rows {
+					if !c.IsNull(r) {
+						first = c.StringAt(r)
+						break
+					}
+				}
+				if first == "" {
+					col.AppendNull()
+				} else {
+					col.AppendString(first)
+				}
+			}
+		}
+		out = append(out, &Attribute{
+			Name:    name,
+			Hops:    1,
+			Col:     col,
+			rowSlot: rowSlot,
+		})
+	}
+	return out
+}
+
+// attrType maps source column types to attribute storage (numerics unify
+// to Float for aggregation).
+func attrType(t table.Type) table.Type {
+	if t == table.String {
+		return table.String
+	}
+	return table.Float
+}

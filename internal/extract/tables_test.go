@@ -1,0 +1,157 @@
+package extract
+
+import (
+	"math"
+	"testing"
+
+	"nexus/internal/bins"
+	"nexus/internal/table"
+)
+
+func auxSource() *TableSource {
+	countries := table.MustFromColumns(
+		table.NewStringColumn("name", []string{"US", "DE", "FR", "JP"}),
+		table.NewFloatColumn("gdp", []float64{21, 4, 3, 5}),
+		table.NewStringColumn("continent", []string{"NA", "EU", "EU", "AS"}),
+	)
+	// One-to-many: several trade partners per country.
+	trade := table.MustFromColumns(
+		table.NewStringColumn("country", []string{"US", "US", "DE", "DE", "DE"}),
+		table.NewFloatColumn("volume", []float64{10, 20, 1, 2, 3}),
+	)
+	// Unrelated table: no joinable column.
+	cities := table.MustFromColumns(
+		table.NewStringColumn("city", []string{"Paris", "Tokyo"}),
+		table.NewFloatColumn("pop", []float64{2, 14}),
+	)
+	return &TableSource{Tables: map[string]*table.Table{
+		"countries": countries,
+		"trade":     trade,
+		"cities":    cities,
+	}}
+}
+
+func lakeBase() *table.Table {
+	return table.MustFromColumns(
+		table.NewStringColumn("Country", []string{"US", "DE", "US", "XX"}),
+		table.NewFloatColumn("Out", []float64{1, 2, 3, 4}),
+	)
+}
+
+func TestJoinability(t *testing.T) {
+	link := table.NewStringColumn("c", []string{"US", "DE", "FR"})
+	full := table.NewStringColumn("k", []string{"US", "DE", "FR", "JP"})
+	if j := Joinability(link, full); j != 1 {
+		t.Fatalf("containment = %v, want 1", j)
+	}
+	partial := table.NewStringColumn("k", []string{"US"})
+	if j := Joinability(link, partial); math.Abs(j-1.0/3) > 1e-12 {
+		t.Fatalf("containment = %v, want 1/3", j)
+	}
+	num := table.NewFloatColumn("n", []float64{1})
+	if Joinability(link, num) != 0 {
+		t.Fatal("numeric columns are not join keys")
+	}
+}
+
+func TestExtractFromTables(t *testing.T) {
+	ex, err := ExtractFromTables(lakeBase(), []string{"Country"}, auxSource(),
+		TableOptions{OneToMany: table.AggMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdp := ex.Attr("countries.gdp")
+	if gdp == nil {
+		t.Fatalf("no countries.gdp; have %v", ex.Names())
+	}
+	row := gdp.Materialize()
+	if row.Float(0) != 21 || row.Float(1) != 4 || row.Float(2) != 21 {
+		t.Fatalf("gdp rows = %v %v %v", row.Float(0), row.Float(1), row.Float(2))
+	}
+	if !row.IsNull(3) {
+		t.Fatal("unmatched link value must be null")
+	}
+	// Categorical column extracted too.
+	cont := ex.Attr("countries.continent")
+	if cont == nil || cont.Materialize().StringAt(1) != "EU" {
+		t.Fatal("categorical attribute missing or wrong")
+	}
+	// Unrelated table contributes nothing.
+	if ex.Attr("cities.pop") != nil {
+		t.Fatal("non-joinable table leaked attributes")
+	}
+}
+
+func TestExtractFromTablesOneToMany(t *testing.T) {
+	ex, err := ExtractFromTables(lakeBase(), []string{"Country"}, auxSource(),
+		TableOptions{OneToMany: table.AggMean, MinContainment: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := ex.Attr("trade.volume")
+	if vol == nil {
+		t.Fatalf("no trade.volume; have %v", ex.Names())
+	}
+	row := vol.Materialize()
+	if row.Float(0) != 15 { // mean(10, 20)
+		t.Fatalf("US mean volume = %v, want 15", row.Float(0))
+	}
+	if row.Float(1) != 2 { // mean(1, 2, 3)
+		t.Fatalf("DE mean volume = %v, want 2", row.Float(1))
+	}
+	// Sum aggregation.
+	exSum, err := ExtractFromTables(lakeBase(), []string{"Country"}, auxSource(),
+		TableOptions{OneToMany: table.AggSum, MinContainment: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := exSum.Attr("trade.volume").Materialize().Float(0); v != 30 {
+		t.Fatalf("US sum volume = %v, want 30", v)
+	}
+}
+
+func TestExtractFromTablesThreshold(t *testing.T) {
+	// Base without the unlinkable "XX": countries covers 100% of the link
+	// values, trade only 2/3 — a 0.9 threshold keeps the former only.
+	base := table.MustFromColumns(
+		table.NewStringColumn("Country", []string{"US", "DE", "FR"}),
+		table.NewFloatColumn("Out", []float64{1, 2, 3}),
+	)
+	ex, err := ExtractFromTables(base, []string{"Country"}, auxSource(),
+		TableOptions{MinContainment: 0.9, OneToMany: table.AggMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Attr("trade.volume") != nil {
+		t.Fatal("low-containment table passed the threshold")
+	}
+	if ex.Attr("countries.gdp") == nil {
+		t.Fatal("fully-containing table rejected")
+	}
+}
+
+func TestExtractFromTablesErrors(t *testing.T) {
+	if _, err := ExtractFromTables(lakeBase(), []string{"nope"}, auxSource(), TableOptions{}); err == nil {
+		t.Fatal("unknown link column accepted")
+	}
+	numBase := table.MustFromColumns(table.NewFloatColumn("n", []float64{1}))
+	if _, err := ExtractFromTables(numBase, []string{"n"}, auxSource(), TableOptions{}); err == nil {
+		t.Fatal("numeric link column accepted")
+	}
+}
+
+func TestExtractFromTablesEncodes(t *testing.T) {
+	// The data-lake attributes plug into the same encoding pipeline.
+	ex, err := ExtractFromTables(lakeBase(), []string{"Country"}, auxSource(),
+		TableOptions{OneToMany: table.AggMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := ex.Attr("countries.gdp").Encode(bins.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Len() != 4 || enc.Codes[0] != enc.Codes[2] {
+		t.Fatal("encoding broadcast broken for table-sourced attribute")
+	}
+}

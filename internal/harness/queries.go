@@ -1,0 +1,160 @@
+package harness
+
+import "nexus/internal/userstudy"
+
+// QuerySpec is one of the 14 representative queries of the user study
+// (Table 2), with the planted ground-truth confounding concepts the
+// simulated raters score against.
+type QuerySpec struct {
+	Dataset string
+	ID      string
+	Label   string
+	SQL     string
+	GT      userstudy.GroundTruth
+	// BruteForce marks the queries the paper could run Brute-Force on
+	// (the small Covid-19 and Forbes datasets).
+	BruteForce bool
+}
+
+// Key returns "dataset Qn".
+func (q QuerySpec) Key() string { return q.Dataset + " " + q.ID }
+
+// Queries returns the 14 representative queries (Table 2). Ground truths
+// mirror the generators in package workload: each concept lists the
+// substring-matched attribute names a rater accepts as that concept.
+func Queries() []QuerySpec {
+	econ := [][]string{
+		{"HDI"},
+		{"GDP", "Median Household Income", "Development Index"},
+		{"Gini"},
+		{"Continent"}, // Europe's development clustering makes geography a confounder
+	}
+	cityTraffic := []string{"Population", "Density", "Metropolitan"}
+	weather := []string{"Precipitation", "Year Low", "Year Avg", "December", "UV", "Sunshine", "Year Snow", "Record Low", "Climate Index"}
+	airlineFin := []string{"Equity", "Fleet", "Net Income", "Revenue", "Employees", "Operations Index"}
+
+	return []QuerySpec{
+		{
+			Dataset: "SO", ID: "Q1", Label: "Average salary per country",
+			SQL: "SELECT Country, avg(Salary) FROM SO GROUP BY Country",
+			GT:  userstudy.GT(econ...),
+		},
+		{
+			Dataset: "SO", ID: "Q2", Label: "Average salary per continent",
+			SQL: "SELECT Continent, avg(Salary) FROM SO GROUP BY Continent",
+			GT:  userstudy.GT(econ...),
+		},
+		{
+			Dataset: "SO", ID: "Q3", Label: "Average salary per country in Europe",
+			SQL: "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'Europe' GROUP BY Country",
+			GT: userstudy.GT(
+				[]string{"Gini"},
+				[]string{"GDP", "Median Household Income", "HDI", "Development Index"},
+				[]string{"Population", "Density"},
+			),
+		},
+		{
+			Dataset: "Flights", ID: "Q1", Label: "Average delay per origin city",
+			SQL: "SELECT Origin_city, avg(Departure_delay) FROM Flights GROUP BY Origin_city",
+			GT: userstudy.GT(
+				weather,
+				cityTraffic,
+				[]string{"Airline"},
+			),
+		},
+		{
+			Dataset: "Flights", ID: "Q2", Label: "Average delay per origin state",
+			SQL: "SELECT Origin_state, avg(Departure_delay) FROM Flights GROUP BY Origin_state",
+			GT: userstudy.GT(
+				weather,
+				cityTraffic,
+				[]string{"Airline"},
+			),
+		},
+		{
+			Dataset: "Flights", ID: "Q3", Label: "Average delay per origin cities in CA",
+			SQL: "SELECT Origin_city, avg(Departure_delay) FROM Flights WHERE Origin_state = 'CA' GROUP BY Origin_city",
+			GT: userstudy.GT(
+				cityTraffic,
+				[]string{"Security"},
+				weather,
+			),
+		},
+		{
+			Dataset: "Flights", ID: "Q4", Label: "Average delay per origin state and airline",
+			SQL: "SELECT Origin_state, Airline, avg(Departure_delay) FROM Flights GROUP BY Origin_state, Airline",
+			GT: userstudy.GT(
+				cityTraffic,
+				airlineFin,
+				weather,
+			),
+		},
+		{
+			Dataset: "Flights", ID: "Q5", Label: "Average delay per airline",
+			SQL: "SELECT Airline, avg(Departure_delay) FROM Flights GROUP BY Airline",
+			GT:  userstudy.GT(airlineFin),
+		},
+		{
+			Dataset: "Covid-19", ID: "Q1", Label: "Deaths per country",
+			SQL: "SELECT Country, avg(Deaths_per_100_cases) FROM `Covid-19` GROUP BY Country",
+			GT: userstudy.GT(
+				[]string{"HDI", "GDP", "Median Household Income", "Development Index"},
+				[]string{"Confirmed"},
+				[]string{"Density"},
+				[]string{"Gini"},
+			),
+			BruteForce: true,
+		},
+		{
+			Dataset: "Covid-19", ID: "Q2", Label: "Deaths per country in Europe",
+			SQL: "SELECT Country, avg(Deaths_per_100_cases) FROM `Covid-19` WHERE Continent = 'Europe' GROUP BY Country",
+			GT: userstudy.GT(
+				[]string{"Gini"},
+				[]string{"Confirmed"},
+				[]string{"Population", "Density"},
+				[]string{"GDP", "HDI", "Development Index", "Median Household Income"},
+			),
+			BruteForce: true,
+		},
+		{
+			Dataset: "Covid-19", ID: "Q3", Label: "Average deaths per WHO-Region",
+			SQL: "SELECT WHO_Region, avg(Deaths_per_100_cases) FROM `Covid-19` GROUP BY WHO_Region",
+			GT: userstudy.GT(
+				[]string{"Density"},
+				[]string{"Confirmed"},
+				[]string{"HDI", "GDP", "Development Index"},
+				[]string{"Continent"},
+			),
+			BruteForce: true,
+		},
+		{
+			Dataset: "Forbes", ID: "Q1", Label: "Salary of Actors",
+			SQL: "SELECT Name, avg(Pay) FROM Forbes WHERE Category = 'Actors' GROUP BY Name",
+			GT: userstudy.GT(
+				[]string{"Net Worth", "Prominence Index"},
+				[]string{"Gender"},
+				[]string{"Awards", "Honors"},
+			),
+			BruteForce: true,
+		},
+		{
+			Dataset: "Forbes", ID: "Q2", Label: "Salary of Directors/Producers",
+			SQL: "SELECT Name, avg(Pay) FROM Forbes WHERE Category = 'Directors/Producers' GROUP BY Name",
+			GT: userstudy.GT(
+				[]string{"Net Worth", "Prominence Index"},
+				[]string{"Awards"},
+				[]string{"Years Active", "ActiveSince"},
+			),
+			BruteForce: true,
+		},
+		{
+			Dataset: "Forbes", ID: "Q3", Label: "Salary of Athletes",
+			SQL: "SELECT Name, avg(Pay) FROM Forbes WHERE Category = 'Athletes' GROUP BY Name",
+			GT: userstudy.GT(
+				[]string{"Cups"},
+				[]string{"Draft Pick"},
+			),
+			BruteForce: true,
+		},
+	}
+}

@@ -1,0 +1,24 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"nexus/internal/core"
+)
+
+func TestDebugTable2(t *testing.T) {
+	s := testSuite()
+	specs := []QuerySpec{
+		specByKey(t, "SO Q1"),
+		specByKey(t, "Covid-19 Q1"),
+		specByKey(t, "Covid-19 Q3"),
+		specByKey(t, "Forbes Q3"),
+	}
+	results, err := s.Table2(specs, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(FormatTable2(results))
+	fmt.Println(FormatTable3(s.Table3(results)))
+}

@@ -1,0 +1,471 @@
+// Package infotheory implements plug-in (maximum-likelihood) estimators of
+// entropy, mutual information and conditional mutual information over
+// discretized columns (bins.Encoded). All quantities are in bits.
+//
+// Estimation is complete-case: rows where any involved variable is missing
+// are skipped. Inverse-probability weights (package missing) are passed as an
+// optional per-row weight vector; a nil weight vector means uniform weights.
+// This mirrors how the paper combines complete-case analysis with IPW (§3.2).
+package infotheory
+
+import (
+	"math"
+
+	"nexus/internal/bins"
+)
+
+// Var is a discretized column.
+type Var = *bins.Encoded
+
+// maxDense bounds the contingency-array size of the dense fast path; larger
+// joint domains fall back to hash maps.
+const maxDense = 1 << 22
+
+// Entropy returns the Shannon entropy H(X) in bits over complete cases,
+// optionally weighted. Returns 0 when no complete cases exist.
+func Entropy(x Var, w []float64) float64 {
+	counts := make([]float64, x.Card)
+	total := 0.0
+	for i, c := range x.Codes {
+		if c == bins.Missing {
+			continue
+		}
+		wt := weightAt(w, i)
+		counts[c] += wt
+		total += wt
+	}
+	return entropyOf(counts, total)
+}
+
+// JointEntropy returns H(X1, ..., Xk) in bits over rows where every variable
+// is present.
+func JointEntropy(xs []Var, w []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := xs[0].Len()
+	ids, card := DenseIDs(xs, n)
+	counts := make([]float64, card)
+	total := 0.0
+	for i, id := range ids {
+		if id < 0 {
+			continue
+		}
+		wt := weightAt(w, i)
+		counts[id] += wt
+		total += wt
+	}
+	return entropyOf(counts, total)
+}
+
+// CondEntropy returns H(X | G1, ..., Gk) in bits over complete cases.
+// With an empty conditioning set it equals Entropy(x, w).
+func CondEntropy(x Var, given []Var, w []float64) float64 {
+	if len(given) == 0 {
+		return Entropy(x, w)
+	}
+	all := append([]Var{x}, given...)
+	return JointEntropy(all, maskedWeights(all, w)) - JointEntropy(given, maskedWeights(all, w))
+}
+
+// Screen returns, from one counting pass, the triple the online prune and
+// the relevance ranking need for a candidate e: the relevance I(O;T|E) and
+// the conditional entropies H(O|E) and H(T|E) over the joint complete cases.
+func Screen(o, t, e Var, w []float64) (rel, hOgivenE, hTgivenE float64) {
+	s := cmi(o, t, []Var{e}, w)
+	return s.mi, s.hx, s.hy
+}
+
+// CondEntropyPair returns H(x | e) over the joint complete cases of x and
+// e in a single counting pass — the hot path of the approximate-FD tests.
+func CondEntropyPair(x, e Var, w []float64) float64 {
+	cx, ce := x.Card, e.Card
+	if cx == 0 || ce == 0 {
+		return 0
+	}
+	if cx*ce > maxDense {
+		// Rare (two huge dictionaries); fall back to the generic path.
+		all := []Var{x, e}
+		mw := maskedWeights(all, w)
+		return JointEntropy(all, mw) - JointEntropy([]Var{e}, mw)
+	}
+	joint := make([]float64, cx*ce)
+	ec := make([]float64, ce)
+	total := 0.0
+	for i, xc := range x.Codes {
+		yc := e.Codes[i]
+		if xc == bins.Missing || yc == bins.Missing {
+			continue
+		}
+		wt := weightAt(w, i)
+		joint[int(xc)*ce+int(yc)] += wt
+		ec[yc] += wt
+		total += wt
+	}
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for xc := 0; xc < cx; xc++ {
+		for yc := 0; yc < ce; yc++ {
+			if pj := joint[xc*ce+yc]; pj > 0 {
+				h -= pj / total * math.Log2(pj/ec[yc])
+			}
+		}
+	}
+	return h
+}
+
+// MutualInfo returns I(X; Y) in bits over complete cases.
+func MutualInfo(x, y Var, w []float64) float64 {
+	return CondMutualInfo(x, y, nil, w)
+}
+
+// CondMutualInfo returns I(X; Y | G1, ..., Gk) in bits over rows where x, y
+// and every conditioning variable are present. It returns 0 when no complete
+// cases exist. Negative values arising from floating-point error are clamped
+// to 0.
+func CondMutualInfo(x, y Var, given []Var, w []float64) float64 {
+	return cmi(x, y, given, w).mi
+}
+
+// CondMutualInfoDebiased returns the plug-in CMI minus its expected value
+// under the independence null (Miller–Madow style: the 2N·ln2·CMI statistic
+// is asymptotically χ² with (|X|−1)(|Y|−1)|Z| degrees of freedom, so the
+// null expectation of CMI is df / (2·N_eff·ln2)), clamped at 0. This is the
+// quantity the conditional-independence tests threshold — the raw plug-in
+// estimate has a positive bias that grows with the number of conditioning
+// strata and would otherwise drown small thresholds.
+func CondMutualInfoDebiased(x, y Var, given []Var, w []float64) float64 {
+	return debiasedMI(cmi(x, y, given, w), w != nil)
+}
+
+func debiasedMI(s cmiStats, weighted bool) float64 {
+	if s.weightSum <= 0 {
+		return 0
+	}
+	neff := s.weightSum
+	if weighted && s.weightSqSum > 0 {
+		neff = s.weightSum * s.weightSum / s.weightSqSum // Kish effective N
+	}
+	df := float64(maxInt(s.nx-1, 0)) * float64(maxInt(s.ny-1, 0)) * float64(maxInt(s.nz, 1))
+	v := s.mi - df/(2*neff*math.Ln2)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// cmiStats carries the plug-in estimate plus the observed support sizes
+// needed for bias correction and the conditional entropies needed by the
+// normalized independence tests — all from one counting pass.
+type cmiStats struct {
+	mi          float64
+	hx, hy      float64 // H(X|Z), H(Y|Z) over the same complete cases
+	weightSum   float64
+	weightSqSum float64
+	nx, ny, nz  int // observed distinct x codes, y codes, z strata
+}
+
+func cmi(x, y Var, given []Var, w []float64) cmiStats {
+	n := x.Len()
+	zids, zcard := DenseIDs(given, n)
+	cx, cy := x.Card, y.Card
+	if cx == 0 || cy == 0 {
+		return cmiStats{}
+	}
+	size := zcard * cx * cy
+	if size > 0 && size <= maxDense {
+		return cmiDense(x, y, zids, zcard, w)
+	}
+	return cmiSparse(x, y, zids, w)
+}
+
+func cmiDense(x, y Var, zids []int32, zcard int, w []float64) cmiStats {
+	cx, cy := x.Card, y.Card
+	joint := make([]float64, zcard*cx*cy)
+	zx := make([]float64, zcard*cx)
+	zy := make([]float64, zcard*cy)
+	z := make([]float64, zcard)
+	var s cmiStats
+	for i := 0; i < len(zids); i++ {
+		zi := zids[i]
+		xc, yc := x.Codes[i], y.Codes[i]
+		if zi < 0 || xc == bins.Missing || yc == bins.Missing {
+			continue
+		}
+		wt := weightAt(w, i)
+		joint[(int(zi)*cx+int(xc))*cy+int(yc)] += wt
+		zx[int(zi)*cx+int(xc)] += wt
+		zy[int(zi)*cy+int(yc)] += wt
+		z[zi] += wt
+		s.weightSum += wt
+		s.weightSqSum += wt * wt
+	}
+	if s.weightSum <= 0 {
+		return cmiStats{}
+	}
+	total := s.weightSum
+	xSeen := make([]bool, cx)
+	ySeen := make([]bool, cy)
+	mi := 0.0
+	for zi := 0; zi < zcard; zi++ {
+		if z[zi] <= 0 {
+			continue
+		}
+		s.nz++
+		for xc := 0; xc < cx; xc++ {
+			pzx := zx[zi*cx+xc]
+			if pzx <= 0 {
+				continue
+			}
+			xSeen[xc] = true
+			for yc := 0; yc < cy; yc++ {
+				pj := joint[(zi*cx+xc)*cy+yc]
+				if pj <= 0 {
+					continue
+				}
+				ySeen[yc] = true
+				pzy := zy[zi*cy+yc]
+				mi += pj / total * math.Log2(z[zi]*pj/(pzx*pzy))
+			}
+		}
+	}
+	for _, seen := range xSeen {
+		if seen {
+			s.nx++
+		}
+	}
+	for _, seen := range ySeen {
+		if seen {
+			s.ny++
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	s.mi = mi
+	// Conditional entropies from the same tallies.
+	for zi := 0; zi < zcard; zi++ {
+		if z[zi] <= 0 {
+			continue
+		}
+		for xc := 0; xc < cx; xc++ {
+			if pzx := zx[zi*cx+xc]; pzx > 0 {
+				s.hx -= pzx / total * math.Log2(pzx/z[zi])
+			}
+		}
+		for yc := 0; yc < cy; yc++ {
+			if pzy := zy[zi*cy+yc]; pzy > 0 {
+				s.hy -= pzy / total * math.Log2(pzy/z[zi])
+			}
+		}
+	}
+	return s
+}
+
+func cmiSparse(x, y Var, zids []int32, w []float64) cmiStats {
+	type key struct {
+		z    int32
+		x, y int32
+	}
+	joint := make(map[key]float64)
+	zx := make(map[[2]int32]float64)
+	zy := make(map[[2]int32]float64)
+	z := make(map[int32]float64)
+	xSeen := make(map[int32]struct{})
+	ySeen := make(map[int32]struct{})
+	var s cmiStats
+	for i := 0; i < len(zids); i++ {
+		zi := zids[i]
+		xc, yc := x.Codes[i], y.Codes[i]
+		if zi < 0 || xc == bins.Missing || yc == bins.Missing {
+			continue
+		}
+		wt := weightAt(w, i)
+		joint[key{zi, xc, yc}] += wt
+		zx[[2]int32{zi, xc}] += wt
+		zy[[2]int32{zi, yc}] += wt
+		z[zi] += wt
+		xSeen[xc] = struct{}{}
+		ySeen[yc] = struct{}{}
+		s.weightSum += wt
+		s.weightSqSum += wt * wt
+	}
+	if s.weightSum <= 0 {
+		return cmiStats{}
+	}
+	mi := 0.0
+	for k, pj := range joint {
+		mi += pj / s.weightSum * math.Log2(z[k.z]*pj/(zx[[2]int32{k.z, k.x}]*zy[[2]int32{k.z, k.y}]))
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	s.mi = mi
+	s.nx, s.ny, s.nz = len(xSeen), len(ySeen), len(z)
+	for k, pzx := range zx {
+		s.hx -= pzx / s.weightSum * math.Log2(pzx/z[k[0]])
+	}
+	for k, pzy := range zy {
+		s.hy -= pzy / s.weightSum * math.Log2(pzy/z[k[0]])
+	}
+	return s
+}
+
+// DenseIDs maps each row to a dense id identifying the combination of codes
+// of the given variables (-1 when any is missing), and returns the number of
+// distinct ids. With no variables every row maps to id 0.
+func DenseIDs(given []Var, n int) (ids []int32, card int) {
+	switch len(given) {
+	case 0:
+		ids = make([]int32, n)
+		return ids, 1
+	case 1:
+		return given[0].Codes, maxInt(given[0].Card, 1)
+	}
+	// Try direct product indexing while the domain stays small.
+	product := 1
+	ok := true
+	for _, g := range given {
+		if g.Card == 0 {
+			ok = false
+			break
+		}
+		product *= g.Card
+		if product > maxDense {
+			ok = false
+			break
+		}
+	}
+	ids = make([]int32, n)
+	if ok {
+		for i := 0; i < n; i++ {
+			id := 0
+			for _, g := range given {
+				c := g.Codes[i]
+				if c == bins.Missing {
+					id = -1
+					break
+				}
+				id = id*g.Card + int(c)
+			}
+			ids[i] = int32(id)
+		}
+		return ids, product
+	}
+	// Fall back to dense assignment of observed combinations.
+	seen := make(map[string]int32)
+	buf := make([]byte, 0, len(given)*4)
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		miss := false
+		for _, g := range given {
+			c := g.Codes[i]
+			if c == bins.Missing {
+				miss = true
+				break
+			}
+			buf = append(buf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		if miss {
+			ids[i] = -1
+			continue
+		}
+		id, found := seen[string(buf)]
+		if !found {
+			id = int32(len(seen))
+			seen[string(buf)] = id
+		}
+		ids[i] = id
+	}
+	return ids, maxInt(len(seen), 1)
+}
+
+// entropyOf computes -Σ p log2 p from weighted counts.
+func entropyOf(counts []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := c / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// maskedWeights zeroes the weight of any row where one of the variables is
+// missing so that joint and marginal entropies are computed over the same
+// complete-case population.
+func maskedWeights(vars []Var, w []float64) []float64 {
+	if len(vars) == 0 {
+		return w
+	}
+	n := vars[0].Len()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		miss := false
+		for _, v := range vars {
+			if v.Codes[i] == bins.Missing {
+				miss = true
+				break
+			}
+		}
+		if miss {
+			continue
+		}
+		out[i] = weightAt(w, i)
+	}
+	return out
+}
+
+func weightAt(w []float64, i int) float64 {
+	if w == nil {
+		return 1
+	}
+	return w[i]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NormalizedCMI returns I(X;Y|G) / min(H(X|G), H(Y|G)); 0 when either
+// conditional entropy is 0. Used as a scale-free dependence score for
+// conditional-independence tests. The conditional entropies are computed
+// over the complete cases of (X, Y, G) jointly, in the same counting pass
+// as the CMI.
+func NormalizedCMI(x, y Var, given []Var, w []float64) float64 {
+	s := cmi(x, y, given, w)
+	if s.mi == 0 {
+		return 0
+	}
+	m := math.Min(s.hx, s.hy)
+	if m <= 0 {
+		return 0
+	}
+	return s.mi / m
+}
+
+// CondIndependent reports whether X ⊥ Y | G at the given threshold. It
+// thresholds the bias-corrected CMI normalized by min(H(X|G), H(Y|G)) — the
+// efficient CI test used as the responsibility test (Lemma 4.2) and for
+// pruning.
+func CondIndependent(x, y Var, given []Var, w []float64, threshold float64) bool {
+	s := cmi(x, y, given, w)
+	d := debiasedMI(s, w != nil)
+	if d == 0 {
+		return true
+	}
+	m := math.Min(s.hx, s.hy)
+	if m <= 0 {
+		return false // fully determined pair cannot be independent
+	}
+	return d/m < threshold
+}

@@ -1,0 +1,120 @@
+package kg
+
+import (
+	"testing"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	us := g.AddEntity("United States", "Country")
+	de := g.AddEntity("Germany", "Country")
+	if us == de {
+		t.Fatal("distinct entities share id")
+	}
+	if again := g.AddEntity("United States", "Country"); again != us {
+		t.Fatal("re-adding an entity should return the original id")
+	}
+	if g.NumEntities() != 2 {
+		t.Fatalf("entities = %d", g.NumEntities())
+	}
+	if id, ok := g.Lookup("Germany"); !ok || id != de {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := g.Lookup("Atlantis"); ok {
+		t.Fatal("lookup of unknown entity succeeded")
+	}
+	if e := g.Entity(us); e.Name != "United States" || e.Class != "Country" {
+		t.Fatalf("entity record = %+v", e)
+	}
+}
+
+func TestGraphProperties(t *testing.T) {
+	g := NewGraph()
+	us := g.AddEntity("US", "Country")
+	g.Set(us, "GDP", Num(21e12))
+	g.Set(us, "Continent", Str("North America"))
+	eur := g.AddEntity("Euro", "Currency")
+	g.Set(us, "Currency", Ent(eur))
+
+	if v, ok := g.Value(us, "GDP"); !ok || v.Num != 21e12 {
+		t.Fatalf("GDP = %v %v", v, ok)
+	}
+	if v, ok := g.Value(us, "Currency"); !ok || v.Kind != EntValue || v.Ent != eur {
+		t.Fatal("entity-valued property broken")
+	}
+	if _, ok := g.Value(us, "HDI"); ok {
+		t.Fatal("absent property reported present")
+	}
+	props := g.Properties(us)
+	if len(props) != 3 || props[0] != "Continent" {
+		t.Fatalf("props = %v", props)
+	}
+}
+
+func TestGraphMultiValued(t *testing.T) {
+	g := NewGraph()
+	us := g.AddEntity("US", "Country")
+	g.Add(us, "Ethnic Group", Ent(g.AddEntity("EG1", "EthnicGroup")))
+	g.Add(us, "Ethnic Group", Ent(g.AddEntity("EG2", "EthnicGroup")))
+	if vs := g.Values(us, "Ethnic Group"); len(vs) != 2 {
+		t.Fatalf("values = %v", vs)
+	}
+	if _, ok := g.Value(us, "Ethnic Group"); ok {
+		t.Fatal("multi-valued property should not satisfy single Value")
+	}
+}
+
+func TestGraphDelete(t *testing.T) {
+	g := NewGraph()
+	us := g.AddEntity("US", "Country")
+	g.Set(us, "HDI", Num(0.92))
+	g.Delete(us, "HDI")
+	if _, ok := g.Value(us, "HDI"); ok {
+		t.Fatal("deleted property still present")
+	}
+	// ClassProperties retains the property name (it exists on the class
+	// schema even when sparse).
+	found := false
+	for _, p := range g.ClassProperties("Country") {
+		if p == "HDI" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("class property forgotten after delete")
+	}
+}
+
+func TestEntitiesOfClass(t *testing.T) {
+	g := NewGraph()
+	g.AddEntity("US", "Country")
+	g.AddEntity("Euro", "Currency")
+	g.AddEntity("DE", "Country")
+	ids := g.EntitiesOfClass("Country")
+	if len(ids) != 2 {
+		t.Fatalf("countries = %v", ids)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Num(2.5).String() != "2.5" {
+		t.Fatal("Num string")
+	}
+	if Str("x").String() != "x" {
+		t.Fatal("Str string")
+	}
+	if Ent(3).String() != "entity:3" {
+		t.Fatal("Ent string")
+	}
+}
+
+func TestNumTriples(t *testing.T) {
+	g := NewGraph()
+	us := g.AddEntity("US", "Country")
+	g.Set(us, "a", Num(1))
+	g.Add(us, "b", Num(1))
+	g.Add(us, "b", Num(2))
+	if n := g.NumTriples(); n != 3 {
+		t.Fatalf("triples = %d", n)
+	}
+}

@@ -1,0 +1,92 @@
+package kg
+
+import (
+	"sort"
+
+	"nexus/internal/stats"
+)
+
+// injectMissing deletes property values from entities of a class to simulate
+// KG sparsity (§3.2). Each property draws its own missing rate around the
+// class baseline. A BiasedFraction of numeric properties get value-dependent
+// missingness (high values are preferentially dropped), creating selection
+// bias the IPW machinery must detect and correct. Properties in keep are
+// never dropped.
+func (w *World) injectMissing(rng *stats.RNG, class string, baseRate, biasedFraction float64, keep []string) {
+	g := w.Graph
+	keepSet := make(map[string]bool, len(keep))
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	ents := g.EntitiesOfClass(class)
+	props := g.ClassProperties(class)
+
+	for _, prop := range props {
+		if keepSet[prop] {
+			continue
+		}
+		// Per-property missing rate in [baseRate/2, baseRate*1.5].
+		rate := baseRate * (0.5 + rng.Float64())
+		if rate > 0.9 {
+			rate = 0.9
+		}
+		biased := rng.Float64() < biasedFraction && isNumericProp(g, ents, prop)
+		if biased {
+			w.BiasedProps[class+"/"+prop] = true
+			w.dropBiased(rng, ents, prop, rate)
+			continue
+		}
+		for _, e := range ents {
+			if len(g.Values(e, prop)) == 0 {
+				continue
+			}
+			if rng.Float64() < rate {
+				g.Delete(e, prop)
+			}
+		}
+	}
+}
+
+// dropBiased removes the property preferentially from entities whose value
+// ranks in the top of the distribution: an entity in the top 30% is dropped
+// with probability 2.5·rate (capped), the rest with rate/3. This mirrors the
+// paper's biased-removal robustness experiment (Fig. 3).
+func (w *World) dropBiased(rng *stats.RNG, ents []EntityID, prop string, rate float64) {
+	g := w.Graph
+	type ev struct {
+		id EntityID
+		v  float64
+	}
+	var have []ev
+	for _, e := range ents {
+		if v, ok := g.Value(e, prop); ok && v.Kind == NumValue {
+			have = append(have, ev{e, v.Num})
+		}
+	}
+	if len(have) == 0 {
+		return
+	}
+	sort.Slice(have, func(a, b int) bool { return have[a].v < have[b].v })
+	cut := int(float64(len(have)) * 0.7)
+	for i, e := range have {
+		p := rate / 3
+		if i >= cut {
+			p = rate * 2.5
+			if p > 0.95 {
+				p = 0.95
+			}
+		}
+		if rng.Float64() < p {
+			g.Delete(e.id, prop)
+		}
+	}
+}
+
+func isNumericProp(g *Graph, ents []EntityID, prop string) bool {
+	for _, e := range ents {
+		if vs := g.Values(e, prop); len(vs) > 0 {
+			return vs[0].Kind == NumValue
+		}
+	}
+	return false
+}

@@ -1,0 +1,260 @@
+package kg
+
+import (
+	"math"
+	"testing"
+
+	"nexus/internal/stats"
+)
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	return NewWorld(WorldConfig{Seed: 1})
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	w1 := NewWorld(WorldConfig{Seed: 7})
+	w2 := NewWorld(WorldConfig{Seed: 7})
+	if w1.Graph.NumEntities() != w2.Graph.NumEntities() {
+		t.Fatal("entity counts differ for same seed")
+	}
+	if w1.Graph.NumTriples() != w2.Graph.NumTriples() {
+		t.Fatal("triple counts differ for same seed")
+	}
+	for i := range w1.Countries {
+		if w1.Countries[i].HDI != w2.Countries[i].HDI {
+			t.Fatalf("country %d HDI differs", i)
+		}
+	}
+}
+
+func TestWorldSizes(t *testing.T) {
+	w := testWorld(t)
+	if len(w.Countries) != 188 {
+		t.Fatalf("countries = %d, want 188", len(w.Countries))
+	}
+	if len(w.Cities) != 320 {
+		t.Fatalf("cities = %d, want 320", len(w.Cities))
+	}
+	if len(w.Airlines) != 14 {
+		t.Fatalf("airlines = %d, want 14", len(w.Airlines))
+	}
+	if len(w.People) != 1647 {
+		t.Fatalf("people = %d, want 1647", len(w.People))
+	}
+	if len(w.States) != 50 {
+		t.Fatalf("states = %d, want 50", len(w.States))
+	}
+}
+
+func TestWorldCountryNamesUnique(t *testing.T) {
+	w := testWorld(t)
+	seen := map[string]bool{}
+	for _, c := range w.Countries {
+		if seen[c.Name] {
+			t.Fatalf("duplicate country %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestWorldPlantedDevelopmentCorrelations(t *testing.T) {
+	w := testWorld(t)
+	var dev, hdi, gdp, gini, density []float64
+	for _, c := range w.Countries {
+		dev = append(dev, c.Dev)
+		hdi = append(hdi, c.HDI)
+		gdp = append(gdp, math.Log(c.GDP))
+		gini = append(gini, c.Gini)
+		density = append(density, math.Log(c.Density))
+	}
+	if r := stats.Pearson(dev, hdi); r < 0.9 {
+		t.Errorf("corr(dev, HDI) = %.3f, want > 0.9", r)
+	}
+	if r := stats.Pearson(dev, gdp); r < 0.9 {
+		t.Errorf("corr(dev, log GDP) = %.3f, want > 0.9", r)
+	}
+	if r := stats.Pearson(dev, gini); r > -0.45 || r < -0.8 {
+		t.Errorf("corr(dev, Gini) = %.3f, want moderately negative (Gini carries an independent channel)", r)
+	}
+	if r := math.Abs(stats.Pearson(dev, density)); r > 0.25 {
+		t.Errorf("corr(dev, density) = %.3f, want ≈0", r)
+	}
+}
+
+func TestWorldEuropeanHDIClustered(t *testing.T) {
+	// European HDI must have much lower variance than global HDI — this is
+	// what makes HDI a poor explanation within Europe (paper Ex. 2.4).
+	w := testWorld(t)
+	var all, eu []float64
+	for _, c := range w.Countries {
+		all = append(all, c.HDI)
+		if c.Continent == "Europe" {
+			eu = append(eu, c.HDI)
+		}
+	}
+	if len(eu) < 10 {
+		t.Fatalf("only %d European countries", len(eu))
+	}
+	if stats.Variance(eu) > stats.Variance(all)/4 {
+		t.Errorf("EU HDI variance %.5f not ≪ global %.5f", stats.Variance(eu), stats.Variance(all))
+	}
+}
+
+func TestWorldEurozoneSharedCurrency(t *testing.T) {
+	w := testWorld(t)
+	euro := 0
+	for _, c := range w.Countries {
+		if c.Currency == "Euro" {
+			euro++
+		}
+	}
+	if euro < 5 {
+		t.Fatalf("only %d euro countries, Table 4 needs a Euro group", euro)
+	}
+}
+
+func TestWorldMissingnessInjected(t *testing.T) {
+	w := testWorld(t)
+	g := w.Graph
+	// HDI should be missing for some but not all countries.
+	have := 0
+	for _, c := range w.Countries {
+		if _, ok := g.Value(c.ID, "HDI"); ok {
+			have++
+		}
+	}
+	if have == len(w.Countries) {
+		t.Fatal("no missingness injected into HDI")
+	}
+	if have < len(w.Countries)/3 {
+		t.Fatalf("too much missingness: only %d/%d HDI values", have, len(w.Countries))
+	}
+	// Ground truth is unaffected by KG sparsity.
+	for _, c := range w.Countries {
+		if math.IsNaN(c.HDI) || c.HDI == 0 {
+			t.Fatal("ground-truth HDI corrupted")
+		}
+	}
+}
+
+func TestWorldSelectionBiasExists(t *testing.T) {
+	w := testWorld(t)
+	if len(w.BiasedProps) == 0 {
+		t.Fatal("no selection-biased properties were generated")
+	}
+}
+
+func TestWorldCandidateAttributeScale(t *testing.T) {
+	w := testWorld(t)
+	if n := len(w.Graph.ClassProperties("Country")); n < 300 {
+		t.Fatalf("country properties = %d, want hundreds (Table 1 scale)", n)
+	}
+	if n := len(w.Graph.ClassProperties("City")); n < 350 {
+		t.Fatalf("city properties = %d, want hundreds", n)
+	}
+	if n := len(w.Graph.ClassProperties("Person")); n < 100 {
+		t.Fatalf("person properties = %d", n)
+	}
+}
+
+func TestWorldLeadersAndEthnicGroups(t *testing.T) {
+	w := testWorld(t)
+	g := w.Graph
+	c := w.Countries[0]
+	if v, ok := g.Value(c.ID, "Leader"); !ok || v.Kind != EntValue {
+		t.Fatal("country missing Leader entity reference")
+	} else {
+		if _, ok := g.Value(v.Ent, "Age"); !ok {
+			t.Fatal("leader has no Age (needed for 2-hop extraction)")
+		}
+	}
+	if vs := g.Values(c.ID, "Ethnic Group"); len(vs) == 0 {
+		t.Fatal("country has no ethnic groups (one-to-many case)")
+	}
+}
+
+func TestWorldAthletePropertyStructure(t *testing.T) {
+	w := testWorld(t)
+	g := w.Graph
+	athletes, actors := 0, 0
+	for _, p := range w.People {
+		switch p.Category {
+		case "Athletes":
+			athletes++
+			// Ground truth has cups even if the KG dropped the value.
+			if p.Cups < 0 {
+				t.Fatal("athlete with negative cups")
+			}
+		case "Actors":
+			actors++
+			if vs := g.Values(p.ID, "Cups"); len(vs) != 0 {
+				t.Fatal("actor has Cups property")
+			}
+		}
+	}
+	if athletes == 0 || actors == 0 {
+		t.Fatalf("athletes=%d actors=%d", athletes, actors)
+	}
+}
+
+func TestWorldCAHasManyCities(t *testing.T) {
+	w := testWorld(t)
+	ca := 0
+	for _, c := range w.Cities {
+		if c.State == "CA" {
+			ca++
+		}
+	}
+	if ca < 5 {
+		t.Fatalf("CA cities = %d, Flights Q3 needs a CA subgroup", ca)
+	}
+}
+
+func TestWorldClimateDrivesWeather(t *testing.T) {
+	w := testWorld(t)
+	var cl, low, precip []float64
+	for _, c := range w.Cities {
+		cl = append(cl, c.Climate)
+		low = append(low, c.YearLowF)
+		precip = append(precip, c.PrecipDays)
+	}
+	if r := stats.Pearson(cl, low); r > -0.8 {
+		t.Errorf("corr(climate, YearLowF) = %.3f, want strongly negative", r)
+	}
+	if r := stats.Pearson(cl, precip); r < 0.7 {
+		t.Errorf("corr(climate, PrecipDays) = %.3f, want strongly positive", r)
+	}
+}
+
+func TestWorldSecondHopDensity(t *testing.T) {
+	// §5.4: the second hop must carry a substantial property space of its
+	// own (leader biographies, currency statistics).
+	w := testWorld(t)
+	g := w.Graph
+	if n := len(g.ClassProperties("Leader")); n < 50 {
+		t.Fatalf("leader properties = %d, want a dense second hop", n)
+	}
+	if n := len(g.ClassProperties("Currency")); n < 30 {
+		t.Fatalf("currency properties = %d, want a dense second hop", n)
+	}
+}
+
+func TestWorldWHORegionFollowsContinent(t *testing.T) {
+	// WHO regions must be a meaningful (mostly continent-determined)
+	// exposure, or the Covid Q3 query has nothing to explain.
+	w := testWorld(t)
+	matches, total := 0, 0
+	for _, c := range w.Countries {
+		if c.Continent != "Europe" {
+			continue
+		}
+		total++
+		if c.WHORegion == "European Region" {
+			matches++
+		}
+	}
+	if total == 0 || float64(matches)/float64(total) < 0.8 {
+		t.Fatalf("only %d/%d European countries in the European Region", matches, total)
+	}
+}

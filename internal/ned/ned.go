@@ -1,0 +1,167 @@
+// Package ned implements Named Entity Disambiguation: linking string values
+// appearing in a table to entities of a knowledge graph (§3.1). The linker
+// is deterministic: exact match, then normalized match, then alias match.
+// It deliberately reproduces the failure modes the paper reports —
+// unresolvable spelling variants ("Russian Federation" vs "Russia") and
+// ambiguous names ("Ronaldo") — because failed links are a major source of
+// missing values for the robustness machinery.
+package ned
+
+import (
+	"strings"
+
+	"nexus/internal/kg"
+)
+
+// Outcome classifies a link attempt.
+type Outcome int
+
+// Link outcomes.
+const (
+	Linked    Outcome = iota // resolved to exactly one entity
+	Unlinked                 // no candidate entity
+	Ambiguous                // multiple candidate entities, refused
+)
+
+// Stats aggregates link outcomes over a workload.
+type Stats struct {
+	Linked    int
+	Unlinked  int
+	Ambiguous int
+}
+
+// Total returns the number of link attempts recorded.
+func (s Stats) Total() int { return s.Linked + s.Unlinked + s.Ambiguous }
+
+// SuccessRate returns Linked / Total (1 when no attempts).
+func (s Stats) SuccessRate() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 1
+	}
+	return float64(s.Linked) / float64(t)
+}
+
+// Linker resolves strings to graph entities.
+type Linker struct {
+	g *kg.Graph
+	// normalized name → candidate entity ids (≥2 means ambiguous)
+	norm map[string][]kg.EntityID
+	// explicit aliases → entity id
+	aliases map[string]kg.EntityID
+	stats   Stats
+}
+
+// NewLinker indexes the graph for linking. Entities whose normalized names
+// collide become ambiguous.
+func NewLinker(g *kg.Graph) *Linker {
+	l := &Linker{
+		g:       g,
+		norm:    make(map[string][]kg.EntityID),
+		aliases: make(map[string]kg.EntityID),
+	}
+	for i := 0; i < g.NumEntities(); i++ {
+		e := g.Entity(kg.EntityID(i))
+		key := Normalize(e.Name)
+		l.norm[key] = append(l.norm[key], e.ID)
+	}
+	return l
+}
+
+// AddAlias registers an alternative surface form for an entity (e.g.
+// "USA" → "United States"). The alias is normalized.
+func (l *Linker) AddAlias(alias string, id kg.EntityID) {
+	l.aliases[Normalize(alias)] = id
+}
+
+// AddAmbiguousAlias registers a surface form that maps to several entities,
+// which the linker will refuse to resolve (the paper's "Ronaldo" case).
+func (l *Linker) AddAmbiguousAlias(alias string, ids ...kg.EntityID) {
+	key := Normalize(alias)
+	l.norm[key] = append(l.norm[key], ids...)
+}
+
+// Link resolves value to an entity id. The second return is the outcome;
+// stats are accumulated on the linker.
+func (l *Linker) Link(value string) (kg.EntityID, Outcome) {
+	id, out := l.resolve(value)
+	switch out {
+	case Linked:
+		l.stats.Linked++
+	case Unlinked:
+		l.stats.Unlinked++
+	case Ambiguous:
+		l.stats.Ambiguous++
+	}
+	return id, out
+}
+
+func (l *Linker) resolve(value string) (kg.EntityID, Outcome) {
+	if value == "" {
+		return 0, Unlinked
+	}
+	// Exact entity name.
+	if id, ok := l.g.Lookup(value); ok {
+		return id, Linked
+	}
+	key := Normalize(value)
+	if id, ok := l.aliases[key]; ok {
+		return id, Linked
+	}
+	cands := l.norm[key]
+	switch len(cands) {
+	case 0:
+		return 0, Unlinked
+	case 1:
+		return cands[0], Linked
+	default:
+		return 0, Ambiguous
+	}
+}
+
+// Stats returns the accumulated link statistics.
+func (l *Linker) Stats() Stats { return l.stats }
+
+// ResetStats clears the accumulated statistics.
+func (l *Linker) ResetStats() { l.stats = Stats{} }
+
+// Normalize lowercases, trims, and collapses inner whitespace; it also
+// strips a small set of punctuation so "St. Louis" matches "St Louis".
+func Normalize(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	var b strings.Builder
+	lastSpace := false
+	for _, r := range s {
+		switch {
+		case r == '.' || r == ',' || r == '\'':
+			continue
+		case r == ' ' || r == '\t' || r == '-' || r == '_':
+			if !lastSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		default:
+			b.WriteRune(r)
+			lastSpace = false
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// LinkColumn links every distinct value of vals, returning the resolved id
+// per distinct value (missing entries failed to link) and aggregate stats
+// counted once per distinct value.
+func (l *Linker) LinkColumn(vals []string) map[string]kg.EntityID {
+	out := make(map[string]kg.EntityID)
+	seen := make(map[string]bool)
+	for _, v := range vals {
+		if v == "" || seen[v] {
+			continue
+		}
+		seen[v] = true
+		if id, outc := l.Link(v); outc == Linked {
+			out[v] = id
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package ned
+
+import (
+	"testing"
+
+	"nexus/internal/kg"
+)
+
+func testGraph() (*kg.Graph, kg.EntityID, kg.EntityID) {
+	g := kg.NewGraph()
+	ru := g.AddEntity("Russia", "Country")
+	us := g.AddEntity("United States", "Country")
+	g.AddEntity("St. Louis", "City")
+	return g, ru, us
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"  United   States ": "united states",
+		"St. Louis":          "st louis",
+		"Winston-Salem":      "winston salem",
+		"O'Brien":            "obrien",
+		"":                   "",
+		"ALL CAPS":           "all caps",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLinkExact(t *testing.T) {
+	g, ru, _ := testGraph()
+	l := NewLinker(g)
+	id, out := l.Link("Russia")
+	if out != Linked || id != ru {
+		t.Fatalf("link = %v %v", id, out)
+	}
+}
+
+func TestLinkNormalized(t *testing.T) {
+	g, _, us := testGraph()
+	l := NewLinker(g)
+	id, out := l.Link("  united STATES ")
+	if out != Linked || id != us {
+		t.Fatalf("link = %v %v", id, out)
+	}
+	// Punctuation-insensitive.
+	if id, out := l.Link("St Louis"); out != Linked || g.Entity(id).Name != "St. Louis" {
+		t.Fatalf("St Louis link = %v", out)
+	}
+}
+
+func TestLinkAlias(t *testing.T) {
+	g, ru, _ := testGraph()
+	l := NewLinker(g)
+	// "Russian Federation" fails until an alias is registered — the paper's
+	// reported failure mode.
+	if _, out := l.Link("Russian Federation"); out != Unlinked {
+		t.Fatalf("expected Unlinked, got %v", out)
+	}
+	l.AddAlias("Russian Federation", ru)
+	if id, out := l.Link("Russian Federation"); out != Linked || id != ru {
+		t.Fatal("alias link failed")
+	}
+}
+
+func TestLinkAmbiguous(t *testing.T) {
+	g := kg.NewGraph()
+	r1 := g.AddEntity("Ronaldo Luis Nazario de Lima", "Person")
+	r2 := g.AddEntity("Cristiano Ronaldo", "Person")
+	l := NewLinker(g)
+	l.AddAmbiguousAlias("Ronaldo", r1, r2)
+	if _, out := l.Link("Ronaldo"); out != Ambiguous {
+		t.Fatalf("expected Ambiguous, got %v", out)
+	}
+}
+
+func TestLinkEmpty(t *testing.T) {
+	g, _, _ := testGraph()
+	l := NewLinker(g)
+	if _, out := l.Link(""); out != Unlinked {
+		t.Fatal("empty string should be Unlinked")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	g, ru, _ := testGraph()
+	l := NewLinker(g)
+	l.AddAmbiguousAlias("X", ru, ru)
+	l.Link("Russia")
+	l.Link("Narnia")
+	l.Link("X")
+	s := l.Stats()
+	if s.Linked != 1 || s.Unlinked != 1 || s.Ambiguous != 1 || s.Total() != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r := s.SuccessRate(); r < 0.33 || r > 0.34 {
+		t.Fatalf("success rate = %v", r)
+	}
+	l.ResetStats()
+	if l.Stats().Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSuccessRateEmpty(t *testing.T) {
+	if (Stats{}).SuccessRate() != 1 {
+		t.Fatal("empty stats success rate should be 1")
+	}
+}
+
+func TestLinkColumn(t *testing.T) {
+	g, _, _ := testGraph()
+	l := NewLinker(g)
+	res := l.LinkColumn([]string{"Russia", "Russia", "Narnia", "", "United States"})
+	if len(res) != 2 {
+		t.Fatalf("linked %d values, want 2", len(res))
+	}
+	// Duplicates counted once.
+	if l.Stats().Total() != 3 {
+		t.Fatalf("attempts = %d, want 3 distinct", l.Stats().Total())
+	}
+}
+
+func TestLinkerOnWorld(t *testing.T) {
+	w := kg.NewWorld(kg.WorldConfig{Seed: 2})
+	l := NewLinker(w.Graph)
+	if id, out := l.Link("germany"); out != Linked || w.Graph.Entity(id).Name != "Germany" {
+		t.Fatalf("world link failed: %v", out)
+	}
+}

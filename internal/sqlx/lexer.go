@@ -1,0 +1,184 @@
+// Package sqlx implements the aggregate-SQL subset nexus explains: single
+// GROUP BY queries with an aggregated outcome, optional WHERE conjunctions
+// (the context C), and optional JOINs. The planner identifies the exposure T
+// (grouping attributes), the outcome O (aggregated attribute) and the
+// context, and the executor evaluates the query against a table catalog.
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokComma
+	tokLParen
+	tokRParen
+	tokOp   // = != < <= > >= ==
+	tokStar // *
+	tokDot
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '*':
+			l.emit(tokStar, "*")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '=':
+			if l.peek(1) == '=' {
+				l.emitN(tokOp, "=", 2)
+			} else {
+				l.emit(tokOp, "=")
+			}
+		case c == '!':
+			if l.peek(1) != '=' {
+				return nil, fmt.Errorf("sqlx: unexpected '!' at %d", l.pos)
+			}
+			l.emitN(tokOp, "!=", 2)
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emitN(tokOp, "<=", 2)
+			} else if l.peek(1) == '>' {
+				l.emitN(tokOp, "!=", 2)
+			} else {
+				l.emit(tokOp, "<")
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emitN(tokOp, ">=", 2)
+			} else {
+				l.emit(tokOp, ">")
+			}
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9' || c == '-' && isDigit(l.peek(1)):
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c == '`' || c == '[':
+			if err := l.lexQuotedIdent(c); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sqlx: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string) { l.emitN(k, text, 1) }
+
+func (l *lexer) emitN(k tokenKind, text string, n int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+	l.pos += n
+}
+
+func (l *lexer) peek(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			l.pos++
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlx: unterminated string at %d", start)
+}
+
+func (l *lexer) lexQuotedIdent(open byte) error {
+	close := open
+	if open == '[' {
+		close = ']'
+	}
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == close {
+			l.toks = append(l.toks, token{kind: tokIdent, text: b.String(), pos: start})
+			l.pos++
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlx: unterminated quoted identifier at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+		((l.src[l.pos] == '+' || l.src[l.pos] == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogisticRecoversSeparatingDirection(t *testing.T) {
+	r := NewRNG(31)
+	n := 2000
+	x := make([]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Norm()
+		p := sigmoid(-1 + 2*x[i])
+		if r.Float64() < p {
+			y[i] = 1
+		}
+	}
+	m, err := FitLogistic(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coef[1] < 1.0 {
+		t.Fatalf("slope = %.3f, want strongly positive (≈2)", m.Coef[1])
+	}
+	if m.Coef[0] > 0 {
+		t.Fatalf("intercept = %.3f, want negative (≈-1)", m.Coef[0])
+	}
+}
+
+func TestLogisticPredictProbabilityRange(t *testing.T) {
+	r := NewRNG(32)
+	n := 500
+	x := make([]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Norm()
+		if x[i] > 0 {
+			y[i] = 1
+		}
+	}
+	m, err := FitLogistic(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-3, -1, 0, 1, 3} {
+		p := m.Predict(v)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Predict(%v) = %v", v, p)
+		}
+	}
+	if m.Predict(-3) >= m.Predict(3) {
+		t.Fatal("predicted probability not increasing in x")
+	}
+}
+
+func TestLogisticCalibration(t *testing.T) {
+	// With a constant-only model the fitted probability should match the
+	// base rate.
+	y := make([]int, 1000)
+	for i := 0; i < 300; i++ {
+		y[i] = 1
+	}
+	m, err := FitLogistic(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict(); math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("base-rate prediction = %.3f, want ≈0.3", p)
+	}
+}
+
+func TestLogisticDropsNaNRows(t *testing.T) {
+	x := []float64{1, 2, math.NaN(), 4, 5, 6}
+	y := []int{0, 0, 1, 1, 1, 1}
+	if _, err := FitLogistic(y, x); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogisticNoCompleteRows(t *testing.T) {
+	x := []float64{math.NaN(), math.NaN()}
+	y := []int{0, 1}
+	if _, err := FitLogistic(y, x); err == nil {
+		t.Fatal("expected error when all rows incomplete")
+	}
+}
+
+func TestLogisticLengthMismatch(t *testing.T) {
+	if _, err := FitLogistic([]int{0, 1}, []float64{1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if v := sigmoid(0); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", v)
+	}
+	if v := sigmoid(100); v <= 0.999 {
+		t.Fatalf("sigmoid(100) = %v", v)
+	}
+	if v := sigmoid(-100); v >= 0.001 {
+		t.Fatalf("sigmoid(-100) = %v", v)
+	}
+	// Symmetry: sigmoid(-z) = 1 - sigmoid(z).
+	for _, z := range []float64{0.3, 1.7, 4.2} {
+		if math.Abs(sigmoid(-z)-(1-sigmoid(z))) > 1e-12 {
+			t.Fatalf("sigmoid symmetry violated at z=%v", z)
+		}
+	}
+}

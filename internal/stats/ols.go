@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// OLSResult holds the fit of an ordinary-least-squares regression
+// y = b0 + b1 x1 + ... + bp xp. Index 0 is the intercept.
+type OLSResult struct {
+	Coef   []float64 // coefficients, Coef[0] = intercept
+	StdErr []float64 // standard errors of the coefficients
+	TStat  []float64 // t statistics
+	PValue []float64 // two-sided p-values (Student's t, df = n-p-1)
+	R2     float64   // coefficient of determination
+	N      int       // number of observations used
+	DF     int       // residual degrees of freedom
+}
+
+// OLS fits y on the columns of x (each xs[j] is one predictor column of
+// length len(y)) with an intercept. Rows where any value is NaN are dropped.
+// It returns ErrSingular when the design matrix is rank-deficient and an
+// error when fewer observations than parameters remain.
+func OLS(y []float64, xs ...[]float64) (*OLSResult, error) {
+	p := len(xs)
+	n0 := len(y)
+	for _, x := range xs {
+		if len(x) != n0 {
+			return nil, errors.New("stats: OLS predictor length mismatch")
+		}
+	}
+	// Collect complete rows.
+	rows := make([]int, 0, n0)
+	for i := 0; i < n0; i++ {
+		ok := !math.IsNaN(y[i])
+		for j := 0; ok && j < p; j++ {
+			ok = !math.IsNaN(xs[j][i])
+		}
+		if ok {
+			rows = append(rows, i)
+		}
+	}
+	n := len(rows)
+	k := p + 1
+	if n <= k {
+		return nil, errors.New("stats: OLS has fewer observations than parameters")
+	}
+
+	// Normal equations: (X'X) b = X'y with X = [1 | xs...].
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	col := func(j, i int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return xs[j-1][i]
+	}
+	for _, i := range rows {
+		for a := 0; a < k; a++ {
+			va := col(a, i)
+			xty[a] += va * y[i]
+			for b := a; b < k; b++ {
+				xtx[a][b] += va * col(b, i)
+			}
+		}
+	}
+	for a := 0; a < k; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+	}
+	xtxInv, err := invert(xtx)
+	if err != nil {
+		return nil, err
+	}
+	coef := make([]float64, k)
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			coef[a] += xtxInv[a][b] * xty[b]
+		}
+	}
+
+	// Residuals and R².
+	meanY := 0.0
+	for _, i := range rows {
+		meanY += y[i]
+	}
+	meanY /= float64(n)
+	var rss, tss float64
+	for _, i := range rows {
+		pred := coef[0]
+		for j := 0; j < p; j++ {
+			pred += coef[j+1] * xs[j][i]
+		}
+		r := y[i] - pred
+		rss += r * r
+		d := y[i] - meanY
+		tss += d * d
+	}
+	df := n - k
+	sigma2 := rss / float64(df)
+	res := &OLSResult{Coef: coef, N: n, DF: df}
+	if tss > 0 {
+		res.R2 = 1 - rss/tss
+	}
+	res.StdErr = make([]float64, k)
+	res.TStat = make([]float64, k)
+	res.PValue = make([]float64, k)
+	for a := 0; a < k; a++ {
+		se := math.Sqrt(sigma2 * xtxInv[a][a])
+		res.StdErr[a] = se
+		if se > 0 {
+			res.TStat[a] = coef[a] / se
+			res.PValue[a] = 2 * studentTSF(math.Abs(res.TStat[a]), float64(df))
+		} else {
+			res.PValue[a] = 1
+		}
+	}
+	return res, nil
+}
+
+// studentTSF is the survival function P(T > t) of Student's t with df
+// degrees of freedom, computed via the regularized incomplete beta function.
+func studentTSF(t, df float64) float64 {
+	if math.IsNaN(t) || df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

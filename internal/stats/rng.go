@@ -1,0 +1,106 @@
+// Package stats provides the statistical substrate for nexus: a deterministic
+// PRNG, ordinary least squares with significance tests, logistic regression
+// (used for inverse-probability weighting), correlation coefficients, and
+// small numeric helpers.
+//
+// All randomness in the repository flows through RNG so that every experiment
+// is reproducible from an explicit seed.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on splitmix64.
+// The zero value is a valid generator seeded with 0; prefer NewRNG to make
+// the seed explicit.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate (Box–Muller).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// NormMS returns a normal variate with the given mean and standard deviation.
+func (r *RNG) NormMS(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs in place.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split derives an independent child generator; useful to give each
+// subcomponent its own stream without coupling draw counts.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Choice returns a uniformly random element index weighted by weights.
+// Weights must be non-negative and not all zero.
+func (r *RNG) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: Choice with non-positive total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,238 @@
+// Package subgroups implements Algorithm 2 of the paper (§4.3): finding the
+// top-k largest data subgroups — context refinements of the query — for
+// which a given explanation is NOT satisfactory (its explanation score
+// I(O;T|C',E) exceeds a threshold τ). The refinement lattice is traversed
+// best-first by group size with a max-heap, generating each node at most
+// once and pruning descendants of qualifying groups.
+package subgroups
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"nexus/internal/bins"
+	"nexus/internal/infotheory"
+)
+
+// RefinementAttr is a categorical attribute usable as a refinement
+// dimension (numeric attributes are assumed pre-binned, per §4.3).
+type RefinementAttr struct {
+	Name string
+	Enc  *bins.Encoded // row-level over the analysis view
+}
+
+// Assignment is one attr = value condition of a refinement.
+type Assignment struct {
+	AttrIdx int
+	Attr    string
+	Code    int32
+	Value   string
+}
+
+// Group is a context refinement with its size and explanation score.
+type Group struct {
+	Conds []Assignment
+	Rows  []int
+	Size  int
+	// Score is I(O;T|C',E) — above τ means the explanation fails here.
+	Score float64
+}
+
+// String renders the refinement like "Continent == Europe".
+func (g Group) String() string {
+	parts := make([]string, len(g.Conds))
+	for i, c := range g.Conds {
+		parts[i] = fmt.Sprintf("%s == %s", c.Attr, c.Value)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// isAncestorOf reports whether g's conditions are a strict subset of
+// other's.
+func (g Group) isAncestorOf(other Group) bool {
+	if len(g.Conds) >= len(other.Conds) {
+		return false
+	}
+	have := make(map[[2]int32]bool, len(other.Conds))
+	for _, c := range other.Conds {
+		have[[2]int32{int32(c.AttrIdx), c.Code}] = true
+	}
+	for _, c := range g.Conds {
+		if !have[[2]int32{int32(c.AttrIdx), c.Code}] {
+			return false
+		}
+	}
+	return true
+}
+
+// Options controls the search.
+type Options struct {
+	// K is the number of groups to return (default 5, as in Table 4).
+	K int
+	// Tau is the explanation-score threshold; groups scoring above it are
+	// unexplained.
+	Tau float64
+	// MaxDepth bounds refinement depth (default 3).
+	MaxDepth int
+	// MinSize skips groups smaller than this (default 1% of rows, min 10) —
+	// tiny groups have meaningless CMI estimates.
+	MinSize int
+	// MaxExplored caps the number of scored lattice nodes (default 1500).
+	// When the explanation holds everywhere, the exhaustive traversal is
+	// polynomial but large; the cap keeps the search interactive — in
+	// practice unexplained groups surface within a handful of nodes (§5.4).
+	MaxExplored int
+	// Weights are optional IPW weights over the analysis view.
+	Weights []float64
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Explored int // nodes whose score was evaluated
+	Pushed   int // nodes pushed onto the heap
+}
+
+// TopUnexplained runs Algorithm 2: it returns the k largest context
+// refinements whose explanation score exceeds τ, together with search
+// statistics.
+func TopUnexplained(t, o *bins.Encoded, explanation []*bins.Encoded, attrs []RefinementAttr, opts Options) ([]Group, Stats, error) {
+	if opts.K <= 0 {
+		opts.K = 5
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 3
+	}
+	n := t.Len()
+	if opts.MinSize <= 0 {
+		opts.MinSize = n / 100
+		if opts.MinSize < 10 {
+			opts.MinSize = 10
+		}
+	}
+	for _, a := range attrs {
+		if a.Enc.Len() != n {
+			return nil, Stats{}, fmt.Errorf("subgroups: attribute %q has %d rows, view has %d", a.Name, a.Enc.Len(), n)
+		}
+	}
+
+	var stats Stats
+	h := &groupHeap{}
+	heap.Init(h)
+
+	allRows := make([]int, n)
+	for i := range allRows {
+		allRows[i] = i
+	}
+	root := Group{Rows: allRows, Size: n}
+	pushChildren(h, root, attrs, opts, &stats)
+
+	if opts.MaxExplored <= 0 {
+		opts.MaxExplored = 1500
+	}
+	var results []Group
+	scratch := make([]float64, n)
+	for h.Len() > 0 && len(results) < opts.K && stats.Explored < opts.MaxExplored {
+		g := heap.Pop(h).(Group)
+		stats.Explored++
+		g.Score = scoreGroup(t, o, explanation, g.Rows, opts.Weights, scratch)
+		if g.Score > opts.Tau {
+			// update(R, C'): insert unless an ancestor already qualified.
+			dominated := false
+			for _, r := range results {
+				if r.isAncestorOf(g) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				results = append(results, g)
+			}
+			continue
+		}
+		if len(g.Conds) < opts.MaxDepth {
+			pushChildren(h, g, attrs, opts, &stats)
+		}
+	}
+	// Free the row slices of results (callers need conditions and sizes).
+	for i := range results {
+		results[i].Rows = nil
+	}
+	return results, stats, nil
+}
+
+// pushChildren generates the children of g: refinements extending it with
+// one assignment of an attribute whose index exceeds the last used index
+// (so every lattice node is generated exactly once).
+func pushChildren(h *groupHeap, g Group, attrs []RefinementAttr, opts Options, stats *Stats) {
+	startAttr := 0
+	if len(g.Conds) > 0 {
+		startAttr = g.Conds[len(g.Conds)-1].AttrIdx + 1
+	}
+	for ai := startAttr; ai < len(attrs); ai++ {
+		enc := attrs[ai].Enc
+		// Partition g's rows by the attribute's codes.
+		parts := make(map[int32][]int)
+		for _, r := range g.Rows {
+			c := enc.Codes[r]
+			if c == bins.Missing {
+				continue
+			}
+			parts[c] = append(parts[c], r)
+		}
+		for code, rows := range parts {
+			if len(rows) < opts.MinSize || len(rows) == g.Size {
+				// Too small, or the assignment does not refine (constant
+				// within the group).
+				continue
+			}
+			label := fmt.Sprintf("%d", code)
+			if int(code) < len(enc.Labels) {
+				label = enc.Labels[code]
+			}
+			child := Group{
+				Conds: append(append([]Assignment(nil), g.Conds...), Assignment{
+					AttrIdx: ai, Attr: attrs[ai].Name, Code: code, Value: label,
+				}),
+				Rows: rows,
+				Size: len(rows),
+			}
+			heap.Push(h, child)
+			stats.Pushed++
+		}
+	}
+}
+
+// scoreGroup computes I(O;T|E) restricted to the group's rows by masking
+// weights outside the group. The bias-corrected estimator is essential
+// here: the plug-in CMI inflates as groups shrink, which would make every
+// small group look "unexplained". With a 0/1 mask the Kish effective sample
+// size equals the group size, so the correction is exact per group.
+func scoreGroup(t, o *bins.Encoded, explanation []*bins.Encoded, rows []int, base []float64, scratch []float64) float64 {
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	for _, r := range rows {
+		if base != nil {
+			scratch[r] = base[r]
+		} else {
+			scratch[r] = 1
+		}
+	}
+	return infotheory.CondMutualInfoDebiased(o, t, explanation, scratch)
+}
+
+// groupHeap is a max-heap of groups by size.
+type groupHeap []Group
+
+func (h groupHeap) Len() int            { return len(h) }
+func (h groupHeap) Less(i, j int) bool  { return h[i].Size > h[j].Size }
+func (h groupHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *groupHeap) Push(x interface{}) { *h = append(*h, x.(Group)) }
+func (h *groupHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,195 @@
+package subgroups
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nexus/internal/bins"
+	"nexus/internal/stats"
+	"nexus/internal/table"
+)
+
+// buildData creates a dataset where a global explanation Z works everywhere
+// EXCEPT inside region == "EU", where T and O stay correlated given Z.
+func buildData(tb testing.TB, n int, seed uint64) (t, o, z *bins.Encoded, attrs []RefinementAttr) {
+	tb.Helper()
+	rng := stats.NewRNG(seed)
+	tv := make([]string, n)
+	ov := make([]string, n)
+	zv := make([]string, n)
+	region := make([]string, n)
+	other := make([]string, n)
+	for i := 0; i < n; i++ {
+		reg := []string{"EU", "AS", "NA", "AF"}[rng.Choice([]float64{0.4, 0.25, 0.2, 0.15})]
+		region[i] = reg
+		other[i] = fmt.Sprintf("g%d", rng.Intn(3))
+		zc := rng.Intn(4)
+		zv[i] = fmt.Sprintf("z%d", zc)
+		if reg == "EU" {
+			// Inside EU: direct dependence between T and O not through Z.
+			c := rng.Intn(4)
+			tv[i] = fmt.Sprintf("t%d", c)
+			ov[i] = fmt.Sprintf("o%d", c)
+		} else {
+			tc := zc
+			oc := zc
+			if rng.Float64() < 0.1 {
+				tc = rng.Intn(4)
+			}
+			if rng.Float64() < 0.1 {
+				oc = rng.Intn(4)
+			}
+			tv[i] = fmt.Sprintf("t%d", tc)
+			ov[i] = fmt.Sprintf("o%d", oc)
+		}
+	}
+	mk := func(name string, vals []string) *bins.Encoded {
+		e, err := bins.Encode(table.NewStringColumn(name, vals), bins.DefaultOptions())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return e
+	}
+	t, o, z = mk("T", tv), mk("O", ov), mk("Z", zv)
+	attrs = []RefinementAttr{
+		{Name: "region", Enc: mk("region", region)},
+		{Name: "other", Enc: mk("other", other)},
+	}
+	return
+}
+
+func TestTopUnexplainedFindsEU(t *testing.T) {
+	te, oe, ze, attrs := buildData(t, 12000, 1)
+	groups, stats, err := TopUnexplained(te, oe, []*bins.Encoded{ze}, attrs, Options{K: 3, Tau: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Fatal("no unexplained groups found")
+	}
+	if !strings.Contains(groups[0].String(), "region == EU") {
+		t.Fatalf("top group = %q, want region == EU", groups[0])
+	}
+	if groups[0].Score <= 0.2 {
+		t.Fatalf("top group score %.3f not above τ", groups[0].Score)
+	}
+	if stats.Explored == 0 || stats.Pushed == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestTopUnexplainedOrderedBySize(t *testing.T) {
+	te, oe, ze, attrs := buildData(t, 12000, 2)
+	groups, _, err := TopUnexplained(te, oe, []*bins.Encoded{ze}, attrs, Options{K: 5, Tau: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(groups); i++ {
+		if groups[i].Size > groups[i-1].Size {
+			t.Fatalf("groups not in size order: %d then %d", groups[i-1].Size, groups[i].Size)
+		}
+	}
+}
+
+func TestTopUnexplainedAncestorSuppression(t *testing.T) {
+	te, oe, ze, attrs := buildData(t, 12000, 3)
+	groups, _, err := TopUnexplained(te, oe, []*bins.Encoded{ze}, attrs, Options{K: 10, Tau: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		for j, h := range groups {
+			if i != j && g.isAncestorOf(h) {
+				t.Fatalf("result %q is an ancestor of result %q", g, h)
+			}
+		}
+	}
+}
+
+func TestTopUnexplainedRespectsTau(t *testing.T) {
+	te, oe, ze, attrs := buildData(t, 12000, 4)
+	// τ above any group's score → nothing qualifies.
+	groups, _, err := TopUnexplained(te, oe, []*bins.Encoded{ze}, attrs, Options{K: 5, Tau: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("groups with impossible τ: %v", groups)
+	}
+}
+
+func TestTopUnexplainedPerfectExplanation(t *testing.T) {
+	// When T and O are driven by Z everywhere, no subgroup should exceed a
+	// reasonable τ.
+	rng := stats.NewRNG(5)
+	n := 8000
+	tv := make([]string, n)
+	ov := make([]string, n)
+	zv := make([]string, n)
+	region := make([]string, n)
+	for i := 0; i < n; i++ {
+		zc := rng.Intn(4)
+		zv[i] = fmt.Sprintf("z%d", zc)
+		tv[i] = fmt.Sprintf("t%d", zc)
+		ov[i] = fmt.Sprintf("o%d", zc)
+		region[i] = []string{"a", "b"}[rng.Intn(2)]
+	}
+	mk := func(name string, vals []string) *bins.Encoded {
+		e, _ := bins.Encode(table.NewStringColumn(name, vals), bins.DefaultOptions())
+		return e
+	}
+	groups, _, err := TopUnexplained(mk("T", tv), mk("O", ov), []*bins.Encoded{mk("Z", zv)},
+		[]RefinementAttr{{Name: "region", Enc: mk("r", region)}}, Options{K: 5, Tau: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("perfectly explained data produced groups: %v", groups)
+	}
+}
+
+func TestTopUnexplainedMinSize(t *testing.T) {
+	te, oe, ze, attrs := buildData(t, 12000, 6)
+	_, stats1, err := TopUnexplained(te, oe, []*bins.Encoded{ze}, attrs, Options{K: 3, Tau: 0.2, MinSize: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats2, err := TopUnexplained(te, oe, []*bins.Encoded{ze}, attrs, Options{K: 3, Tau: 0.2, MinSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Pushed >= stats2.Pushed {
+		t.Fatalf("larger MinSize should push fewer nodes: %d vs %d", stats1.Pushed, stats2.Pushed)
+	}
+}
+
+func TestTopUnexplainedLengthMismatch(t *testing.T) {
+	te, oe, ze, _ := buildData(t, 1000, 7)
+	bad := RefinementAttr{Name: "short", Enc: &bins.Encoded{Name: "short", Card: 1, Codes: make([]int32, 10)}}
+	if _, _, err := TopUnexplained(te, oe, []*bins.Encoded{ze}, []RefinementAttr{bad}, Options{K: 1, Tau: 0.1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	a := Group{Conds: []Assignment{{AttrIdx: 0, Code: 1}}}
+	b := Group{Conds: []Assignment{{AttrIdx: 0, Code: 1}, {AttrIdx: 1, Code: 2}}}
+	c := Group{Conds: []Assignment{{AttrIdx: 1, Code: 2}}}
+	if !a.isAncestorOf(b) || !c.isAncestorOf(b) {
+		t.Fatal("ancestor detection failed")
+	}
+	if b.isAncestorOf(a) || a.isAncestorOf(c) || a.isAncestorOf(a) {
+		t.Fatal("false ancestor detected")
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	g := Group{Conds: []Assignment{
+		{Attr: "Continent", Value: "Europe"},
+		{Attr: "Gender", Value: "female"},
+	}}
+	if s := g.String(); s != "Continent == Europe AND Gender == female" {
+		t.Fatalf("String() = %q", s)
+	}
+}

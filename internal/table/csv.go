@@ -1,0 +1,110 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the table as CSV with a header row. Nulls serialize as
+// empty fields.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for i, n := 0, t.NumRows(); i < n; i++ {
+		for j, c := range t.cols {
+			if c.IsNull(i) {
+				rec[j] = ""
+			} else {
+				rec[j] = c.StringAt(i)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV stream with a header row into a table, inferring
+// column types: a column where every non-empty field parses as a number
+// becomes Float; every non-empty field "true"/"false" becomes Bool;
+// otherwise String. Empty fields are nulls.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: empty CSV input")
+	}
+	header := records[0]
+	rows := records[1:]
+
+	t := New()
+	for j, name := range header {
+		typ := inferType(rows, j)
+		col := NewColumn(name, typ)
+		for _, rec := range rows {
+			field := ""
+			if j < len(rec) {
+				field = rec[j]
+			}
+			if field == "" {
+				col.AppendNull()
+				continue
+			}
+			switch typ {
+			case Float:
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: column %q row value %q: %v", name, field, err)
+				}
+				col.AppendFloat(v)
+			case Bool:
+				col.AppendBool(field == "true")
+			default:
+				col.AppendString(field)
+			}
+		}
+		if err := t.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func inferType(rows [][]string, j int) Type {
+	allNum, allBool, any := true, true, false
+	for _, rec := range rows {
+		if j >= len(rec) || rec[j] == "" {
+			continue
+		}
+		any = true
+		if _, err := strconv.ParseFloat(rec[j], 64); err != nil {
+			allNum = false
+		}
+		if rec[j] != "true" && rec[j] != "false" {
+			allBool = false
+		}
+		if !allNum && !allBool {
+			break
+		}
+	}
+	switch {
+	case !any:
+		return String
+	case allNum:
+		return Float
+	case allBool:
+		return Bool
+	default:
+		return String
+	}
+}

@@ -1,0 +1,174 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestInnerJoin(t *testing.T) {
+	left := MustFromColumns(
+		NewStringColumn("country", []string{"US", "DE", "XX", "US"}),
+		NewFloatColumn("salary", []float64{100, 60, 10, 120}),
+	)
+	right := MustFromColumns(
+		NewStringColumn("name", []string{"US", "DE", "FR"}),
+		NewFloatColumn("gdp", []float64{21, 4, 3}),
+	)
+	j, err := left.Join(right, "country", "name", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3 (XX unmatched)", j.NumRows())
+	}
+	gdp := j.MustColumn("gdp")
+	cc := j.MustColumn("country")
+	for i := 0; i < j.NumRows(); i++ {
+		want := map[string]float64{"US": 21, "DE": 4}[cc.StringAt(i)]
+		if gdp.Float(i) != want {
+			t.Fatalf("row %d: gdp = %v, want %v", i, gdp.Float(i), want)
+		}
+	}
+}
+
+func TestLeftJoinKeepsUnmatched(t *testing.T) {
+	left := MustFromColumns(
+		NewStringColumn("country", []string{"US", "XX"}),
+		NewFloatColumn("salary", []float64{100, 10}),
+	)
+	right := MustFromColumns(
+		NewStringColumn("name", []string{"US"}),
+		NewFloatColumn("gdp", []float64{21}),
+	)
+	j, err := left.Join(right, "country", "name", LeftJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", j.NumRows())
+	}
+	gdp := j.MustColumn("gdp")
+	if gdp.IsNull(0) || !gdp.IsNull(1) {
+		t.Fatal("left-join null pattern wrong")
+	}
+}
+
+func TestJoinDuplicateRightKeys(t *testing.T) {
+	left := MustFromColumns(NewStringColumn("k", []string{"a"}))
+	right := MustFromColumns(
+		NewStringColumn("k", []string{"a", "a"}),
+		NewFloatColumn("v", []float64{1, 2}),
+	)
+	j, err := left.Join(right, "k", "k", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2 (fan-out)", j.NumRows())
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	left := MustFromColumns(NewStringColumn("k", []string{"", "a"}))
+	right := MustFromColumns(
+		NewStringColumn("k", []string{"", "a"}),
+		NewFloatColumn("v", []float64{9, 1}),
+	)
+	j, err := left.Join(right, "k", "k", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1 (null keys excluded)", j.NumRows())
+	}
+}
+
+func TestJoinNameCollision(t *testing.T) {
+	left := MustFromColumns(
+		NewStringColumn("k", []string{"a"}),
+		NewFloatColumn("v", []float64{1}),
+	)
+	right := MustFromColumns(
+		NewStringColumn("k", []string{"a"}),
+		NewFloatColumn("v", []float64{2}),
+	)
+	j, err := left.Join(right, "k", "k", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.HasColumn("v") || !j.HasColumn("v_r") {
+		t.Fatalf("columns = %v", j.ColumnNames())
+	}
+	if j.MustColumn("v").Float(0) != 1 || j.MustColumn("v_r").Float(0) != 2 {
+		t.Fatal("collision columns swapped")
+	}
+}
+
+func TestJoinUnknownKeys(t *testing.T) {
+	tbl := MustFromColumns(NewStringColumn("k", []string{"a"}))
+	if _, err := tbl.Join(tbl, "zz", "k", InnerJoin); err == nil {
+		t.Fatal("expected unknown left key error")
+	}
+	if _, err := tbl.Join(tbl, "k", "zz", InnerJoin); err == nil {
+		t.Fatal("expected unknown right key error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := MustFromColumns(
+		NewStringColumn("name", []string{"alice", "", "carol"}),
+		NewFloatColumn("score", []float64{1.5, 2, math.NaN()}),
+		NewBoolColumn("active", []bool{true, false, true}),
+	)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 || back.NumCols() != 3 {
+		t.Fatalf("shape = %d×%d", back.NumRows(), back.NumCols())
+	}
+	if back.MustColumn("score").Typ != Float {
+		t.Fatalf("score type = %v", back.MustColumn("score").Typ)
+	}
+	if back.MustColumn("active").Typ != Bool {
+		t.Fatalf("active type = %v", back.MustColumn("active").Typ)
+	}
+	if !back.MustColumn("name").IsNull(1) || !back.MustColumn("score").IsNull(2) {
+		t.Fatal("nulls lost in round trip")
+	}
+	if back.MustColumn("score").Float(0) != 1.5 {
+		t.Fatal("value lost in round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+}
+
+func TestReadCSVTypeInference(t *testing.T) {
+	in := "a,b,c\n1,x,true\n2,y,false\n,z,\n"
+	tbl, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MustColumn("a").Typ != Float {
+		t.Fatal("a should infer Float")
+	}
+	if tbl.MustColumn("b").Typ != String {
+		t.Fatal("b should infer String")
+	}
+	if tbl.MustColumn("c").Typ != Bool {
+		t.Fatal("c should infer Bool")
+	}
+	if !tbl.MustColumn("a").IsNull(2) {
+		t.Fatal("empty numeric should be null")
+	}
+}

@@ -1,0 +1,119 @@
+package userstudy
+
+import (
+	"math"
+	"testing"
+)
+
+func econGT() GroundTruth {
+	return GT(
+		[]string{"HDI"},
+		[]string{"GDP", "Median Household Income"},
+		[]string{"Gini"},
+	)
+}
+
+func TestAnalyzeClassification(t *testing.T) {
+	gt := econGT()
+	b := gt.Analyze([]string{"HDI", "HDI Rank", "Gini", "Time Zone"})
+	if b.Covered != 2 {
+		t.Fatalf("covered = %d, want 2 (HDI, Gini)", b.Covered)
+	}
+	if b.Redundant != 1 {
+		t.Fatalf("redundant = %d, want 1 (HDI Rank)", b.Redundant)
+	}
+	if b.Irrelevant != 1 {
+		t.Fatalf("irrelevant = %d, want 1 (Time Zone)", b.Irrelevant)
+	}
+}
+
+func TestSynonymMatching(t *testing.T) {
+	gt := econGT()
+	if gt.matchConcept("GDP Nominal") != 1 || gt.matchConcept("Median Household Income") != 1 {
+		t.Fatal("synonyms not matched")
+	}
+	if gt.matchConcept("Precipitation") != -1 {
+		t.Fatal("irrelevant attr matched")
+	}
+	// Case-insensitive.
+	if gt.matchConcept("gini rank") != 2 {
+		t.Fatal("case-insensitive match failed")
+	}
+}
+
+func TestQualityOrdering(t *testing.T) {
+	gt := econGT()
+	perfect := gt.Quality([]string{"HDI", "GDP", "Gini"})
+	partial := gt.Quality([]string{"HDI", "GDP"})
+	redundant := gt.Quality([]string{"HDI", "HDI Rank", "HDI"})
+	irrelevant := gt.Quality([]string{"Time Zone", "Calling Code"})
+	empty := gt.Quality(nil)
+	if !(perfect > partial && partial > redundant && redundant > irrelevant && irrelevant >= empty) {
+		t.Fatalf("quality ordering violated: %.2f %.2f %.2f %.2f %.2f",
+			perfect, partial, redundant, irrelevant, empty)
+	}
+	if perfect != 1 {
+		t.Fatalf("perfect explanation quality = %v", perfect)
+	}
+	if empty != 0 {
+		t.Fatalf("empty explanation quality = %v", empty)
+	}
+}
+
+func TestQualityPenalizesRedundancy(t *testing.T) {
+	gt := econGT()
+	clean := gt.Quality([]string{"HDI", "Gini"})
+	dup := gt.Quality([]string{"HDI", "Gini", "HDI Rank", "Gini Rank"})
+	if dup >= clean {
+		t.Fatalf("redundant list scored %.3f ≥ clean %.3f", dup, clean)
+	}
+}
+
+func TestPanelRate(t *testing.T) {
+	gt := econGT()
+	p := NewPanel(1)
+	j := p.Rate([]string{"HDI", "GDP", "Gini"}, gt)
+	if len(j.Scores) != 150 {
+		t.Fatalf("raters = %d", len(j.Scores))
+	}
+	if j.Mean < 4 {
+		t.Fatalf("perfect explanation mean = %.2f, want high", j.Mean)
+	}
+	for _, s := range j.Scores {
+		if s < 1 || s > 5 {
+			t.Fatalf("score %v outside scale", s)
+		}
+	}
+	if j.Variance <= 0 {
+		t.Fatal("no rater noise")
+	}
+}
+
+func TestPanelRateEmptyExplanation(t *testing.T) {
+	j := NewPanel(2).Rate(nil, econGT())
+	if j.Mean > 1.6 {
+		t.Fatalf("empty explanation mean = %.2f, want ≈1", j.Mean)
+	}
+}
+
+func TestPanelDeterminism(t *testing.T) {
+	gt := econGT()
+	a := NewPanel(7).Rate([]string{"HDI"}, gt)
+	b := NewPanel(7).Rate([]string{"HDI"}, gt)
+	if math.Abs(a.Mean-b.Mean) > 1e-12 {
+		t.Fatal("panel not deterministic")
+	}
+}
+
+func TestPanelSeparatesMethodQuality(t *testing.T) {
+	// The panel must reproduce the paper's ordering when given explanations
+	// of graded quality.
+	gt := econGT()
+	p := NewPanel(3)
+	good := p.Rate([]string{"HDI", "Gini"}, gt).Mean
+	mid := p.Rate([]string{"HDI", "Time Zone"}, gt).Mean
+	bad := p.Rate([]string{"Time Zone", "Calling Code"}, gt).Mean
+	if !(good > mid && mid > bad) {
+		t.Fatalf("ordering violated: %.2f %.2f %.2f", good, mid, bad)
+	}
+}

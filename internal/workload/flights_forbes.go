@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+
+	"nexus/internal/kg"
+	"nexus/internal/stats"
+	"nexus/internal/table"
+)
+
+// Flights generates the flight-delay dataset: one row per flight with a
+// departure delay driven by the origin city's weather severity and traffic
+// (climate and size latents), the airline's operational quality, and a
+// security component from the city's security index.
+func Flights(w *kg.World, cfg Config) *Dataset {
+	n := cfg.Rows
+	if n == 0 {
+		n = 5819079
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0xF1)
+
+	nc := len(w.Cities)
+	na := len(w.Airlines)
+
+	// City sampling ∝ population; airline choice per city via an affinity
+	// matrix so that Airline is genuinely confounded with Origin city.
+	cityW := make([]float64, nc)
+	for i, c := range w.Cities {
+		cityW[i] = math.Exp((c.Size - 11) / 2)
+	}
+	affinity := make([][]float64, nc)
+	for i := range affinity {
+		affinity[i] = make([]float64, na)
+		for j := range affinity[i] {
+			affinity[i][j] = math.Exp(0.9 * rng.Norm())
+		}
+	}
+
+	origin := make([]string, n)
+	originState := make([]string, n)
+	dest := make([]string, n)
+	destState := make([]string, n)
+	airline := make([]string, n)
+	month := make([]float64, n)
+	day := make([]float64, n)
+	distance := make([]float64, n)
+	depDelay := make([]float64, n)
+	arrDelay := make([]float64, n)
+	secDelay := make([]float64, n)
+	cancelled := make([]string, n)
+
+	for i := 0; i < n; i++ {
+		oi := rng.Choice(cityW)
+		di := rng.Choice(cityW)
+		ai := rng.Choice(affinity[oi])
+		oc := &w.Cities[oi]
+		dc := &w.Cities[di]
+		al := &w.Airlines[ai]
+
+		origin[i] = oc.Name
+		originState[i] = oc.State
+		dest[i] = dc.Name
+		destState[i] = dc.State
+		airline[i] = al.Name
+		month[i] = float64(1 + rng.Intn(12))
+		day[i] = float64(1 + rng.Intn(28))
+		distance[i] = math.Round(200 + 2200*rng.Float64())
+
+		winter := 0.0
+		if month[i] <= 2 || month[i] == 12 {
+			winter = 1
+		}
+		sec := math.Max(0, 2+1.5*oc.SecurityIdx+rng.Norm())
+		secDelay[i] = math.Round(sec)
+		delay := 9 + 5.5*oc.Climate + 2.2*winter*oc.Climate + 1.6*(oc.Size-11)/1.6 -
+			3.8*al.Quality + sec + 7*rng.Norm()
+		depDelay[i] = math.Round(delay)
+		arrDelay[i] = math.Round(delay + 2 + 3*rng.Norm())
+		if rng.Float64() < 0.015 {
+			cancelled[i] = "yes"
+		} else {
+			cancelled[i] = "no"
+		}
+	}
+
+	tbl := table.MustFromColumns(
+		table.NewStringColumn("Origin_city", origin),
+		table.NewStringColumn("Origin_state", originState),
+		table.NewStringColumn("Dest_city", dest),
+		table.NewStringColumn("Dest_state", destState),
+		table.NewStringColumn("Airline", airline),
+		table.NewFloatColumn("Month", month),
+		table.NewFloatColumn("Day", day),
+		table.NewFloatColumn("Distance", distance),
+		table.NewFloatColumn("Departure_delay", depDelay),
+		table.NewFloatColumn("Arrival_delay", arrDelay),
+		table.NewFloatColumn("Security_delay", secDelay),
+		table.NewStringColumn("Cancelled", cancelled),
+	)
+	return &Dataset{
+		Name:        "Flights",
+		Table:       tbl,
+		LinkColumns: []string{"Airline", "Origin_city", "Dest_city", "Origin_state", "Dest_state"},
+		Outcomes:    []string{"Departure_delay", "Arrival_delay", "Security_delay"},
+		// Departure and arrival delay are two measurements of the same
+		// event; neither is a confounder of the other.
+		ExcludeCandidates: []string{"Departure_delay", "Arrival_delay"},
+		World:             w,
+	}
+}
+
+// Forbes generates the celebrity-earnings dataset: one row per celebrity
+// with an annual pay driven by fame (reflected in the KG's Net Worth),
+// gender (actors' pay gap) and achievement attributes (athletes' cups).
+func Forbes(w *kg.World, cfg Config) *Dataset {
+	n := cfg.Rows
+	if n == 0 || n > len(w.People) {
+		n = len(w.People)
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0xF0)
+
+	name := make([]string, n)
+	category := make([]string, n)
+	year := make([]float64, n)
+	pay := make([]float64, n)
+
+	for i := 0; i < n; i++ {
+		p := &w.People[i]
+		name[i] = p.Name
+		category[i] = p.Category
+		year[i] = float64(2005 + rng.Intn(11))
+
+		logPay := 1.2 + 0.25*rng.Norm()
+		switch p.Category {
+		case "Actors":
+			logPay += 0.85 * p.Fame
+			if p.Gender == "female" {
+				logPay -= 0.45 // the paper's gender-pay-gap reference
+			}
+		case "Athletes":
+			// Athlete pay is performance-based (the paper's Forbes Q3
+			// explanation: Cups, Draft Pick).
+			logPay += 0.30*p.Fame + 0.22*p.Cups - 0.015*p.DraftPick
+		case "Directors/Producers":
+			logPay += 0.70*p.Fame + 0.06*p.Awards
+		default:
+			logPay += 0.85 * p.Fame
+		}
+		pay[i] = math.Round(math.Exp(logPay)*10) / 10 // $M
+	}
+
+	tbl := table.MustFromColumns(
+		table.NewStringColumn("Name", name),
+		table.NewStringColumn("Category", category),
+		table.NewFloatColumn("Year", year),
+		table.NewFloatColumn("Pay", pay),
+	)
+	return &Dataset{
+		Name:        "Forbes",
+		Table:       tbl,
+		LinkColumns: []string{"Name"},
+		Outcomes:    []string{"Pay"},
+		World:       w,
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+
+	"nexus/internal/stats"
+	"nexus/internal/table"
+)
+
+// RandomQuery is one generated query for the §5.1 usefulness experiment.
+type RandomQuery struct {
+	Dataset string
+	SQL     string
+	T       string // exposure (one of the dataset's link columns)
+	O       string // outcome (a numeric column)
+	// WhereAttr/WhereValue describe the context condition (≥10% selectivity).
+	WhereAttr  string
+	WhereValue string
+}
+
+// RandomQueries generates count random aggregate queries over the dataset,
+// following the paper's protocol: T is one of the extraction columns, O is
+// a numeric outcome, and the WHERE clause picks an attribute=value pair
+// covering more than 10% of the rows.
+func RandomQueries(ds *Dataset, count int, seed uint64) []RandomQuery {
+	rng := stats.NewRNG(seed)
+	n := ds.Table.NumRows()
+
+	// Categorical columns eligible for WHERE (excluding link columns used
+	// as T below keeps queries non-degenerate; we exclude per query).
+	var catCols []string
+	for _, c := range ds.Table.Columns() {
+		if c.Typ == table.String && c.DistinctCount() >= 2 {
+			catCols = append(catCols, c.Name)
+		}
+	}
+
+	var out []RandomQuery
+	for attempt := 0; len(out) < count && attempt < count*50; attempt++ {
+		t := ds.LinkColumns[rng.Intn(len(ds.LinkColumns))]
+		o := ds.Outcomes[rng.Intn(len(ds.Outcomes))]
+		if t == o {
+			continue
+		}
+		// Pick a WHERE attribute different from T and O.
+		var whereCands []string
+		for _, c := range catCols {
+			if c != t && c != o {
+				whereCands = append(whereCands, c)
+			}
+		}
+		q := RandomQuery{Dataset: ds.Name, T: t, O: o}
+		if len(whereCands) > 0 {
+			attr := whereCands[rng.Intn(len(whereCands))]
+			if val, ok := selectiveValue(ds.Table, attr, n, rng); ok {
+				q.WhereAttr, q.WhereValue = attr, val
+			}
+		}
+		if q.WhereAttr != "" {
+			q.SQL = fmt.Sprintf("SELECT %s, avg(%s) FROM %s WHERE %s = '%s' GROUP BY %s",
+				t, o, ds.Name, q.WhereAttr, q.WhereValue, t)
+		} else {
+			q.SQL = fmt.Sprintf("SELECT %s, avg(%s) FROM %s GROUP BY %s", t, o, ds.Name, t)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// selectiveValue picks a random value of attr covering more than 10% of the
+// rows, per the paper's protocol; ok is false when none exists.
+func selectiveValue(t *table.Table, attr string, n int, rng *stats.RNG) (string, bool) {
+	col := t.Column(attr)
+	if col == nil {
+		return "", false
+	}
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		if !col.IsNull(i) {
+			counts[col.StringAt(i)]++
+		}
+	}
+	var eligible []string
+	for v, c := range counts {
+		if float64(c) > 0.1*float64(n) {
+			eligible = append(eligible, v)
+		}
+	}
+	if len(eligible) == 0 {
+		return "", false
+	}
+	// Deterministic order before random pick.
+	sortStrings(eligible)
+	return eligible[rng.Intn(len(eligible))], true
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

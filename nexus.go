@@ -1,0 +1,132 @@
+// Package nexus reproduces the MESA system from "On Explaining Confounding
+// Bias" (SIGMOD 2023): given an aggregate SQL query that exposes a
+// correlation between a grouping attribute (the exposure T) and an
+// aggregated attribute (the outcome O), it mines candidate confounding
+// attributes from a knowledge graph, handles missing extracted values with
+// selection-bias detection and inverse probability weighting, and finds the
+// attribute set that best explains the correlation away (the
+// Correlation-Explanation problem) with the PTIME MCIMR algorithm.
+//
+// Typical use:
+//
+//	sess := nexus.NewSession(world.Graph, nil)
+//	sess.RegisterTable("SO", soTable, "Country", "Continent")
+//	rep, err := sess.Explain("SELECT Country, avg(Salary) FROM SO GROUP BY Country")
+//	fmt.Println(rep.Summary())
+package nexus
+
+import (
+	"nexus/internal/bins"
+	"nexus/internal/core"
+	"nexus/internal/kg"
+	"nexus/internal/ned"
+	"nexus/internal/sqlx"
+	"nexus/internal/table"
+)
+
+// Options configures a Session. The zero value of every field selects the
+// paper's defaults.
+type Options struct {
+	// Bins controls discretization. A zero Bins.Bins selects an adaptive
+	// equal-frequency bin count from the analysis-view size (4 for tiny
+	// views, 6 medium, 8 large); set it explicitly to pin the granularity.
+	Bins bins.Options
+	// AutoBins forces adaptive bin selection even when Bins.Bins is set.
+	AutoBins bool
+	// Core controls pruning and MCIMR (default core.DefaultOptions).
+	Core core.Options
+	// Hops is the KG extraction depth (default 1; §5.4 evaluates 2).
+	Hops int
+	// OneToMany aggregates multi-valued properties (default mean).
+	OneToMany table.AggFunc
+	// DisableIPW turns off selection-bias detection and weighting
+	// (complete-case analysis everywhere).
+	DisableIPW bool
+	// BiasThreshold is the normalized-CMI threshold of the selection-bias
+	// detector (default missing.DefaultThreshold).
+	BiasThreshold float64
+	// MaxRefinementCard bounds the cardinality of attributes used as
+	// subgroup refinement dimensions (default 20).
+	MaxRefinementCard int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Core.K == 0 {
+		k := o.Core
+		o.Core = core.DefaultOptions()
+		o.Core.DisableOfflinePrune = k.DisableOfflinePrune
+		o.Core.DisableOnlinePrune = k.DisableOnlinePrune
+	}
+	if o.Hops == 0 {
+		o.Hops = 1
+	}
+	if o.MaxRefinementCard == 0 {
+		o.MaxRefinementCard = 20
+	}
+}
+
+// Session holds a table catalog, a knowledge graph and an entity linker,
+// and answers Explain requests.
+type Session struct {
+	opts     Options
+	catalog  sqlx.Catalog
+	graph    *kg.Graph
+	linker   *ned.Linker
+	links    map[string][]string // table name → link columns
+	excludes map[string][]string // table name → columns never used as candidates
+}
+
+// NewSession creates a session over the given knowledge graph. opts may be
+// nil for defaults. The graph may be nil, in which case only input-table
+// attributes are considered (the HypDB setting).
+func NewSession(graph *kg.Graph, opts *Options) *Session {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.applyDefaults()
+	s := &Session{
+		opts:     o,
+		catalog:  sqlx.Catalog{},
+		graph:    graph,
+		links:    map[string][]string{},
+		excludes: map[string][]string{},
+	}
+	if graph != nil {
+		s.linker = ned.NewLinker(graph)
+	}
+	return s
+}
+
+// Linker exposes the session's entity linker (e.g. to register aliases).
+// Nil when the session has no knowledge graph.
+func (s *Session) Linker() *ned.Linker { return s.linker }
+
+// RegisterTable adds a table to the catalog. linkColumns name the columns
+// whose values reference knowledge-graph entities (Table 1's "columns used
+// for extraction").
+func (s *Session) RegisterTable(name string, t *table.Table, linkColumns ...string) {
+	s.catalog[name] = t
+	s.links[name] = linkColumns
+}
+
+// ExcludeCandidates marks columns of a registered table that must never be
+// considered candidate confounders — typically sibling measurements of the
+// outcome (arrival vs departure delay) that would trivially "explain" each
+// other. This encodes analyst domain knowledge, exactly like the paper's
+// assumption that the analyst chooses the knowledge source.
+func (s *Session) ExcludeCandidates(tableName string, cols ...string) {
+	s.excludes[tableName] = append(s.excludes[tableName], cols...)
+}
+
+// Table returns a registered table (nil when absent).
+func (s *Session) Table(name string) *table.Table { return s.catalog[name] }
+
+// Query parses and executes an aggregate query without explaining it.
+func (s *Session) Query(sql string) (*sqlx.Result, error) {
+	q, err := sqlx.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return sqlx.Execute(q, s.catalog)
+}

@@ -1,0 +1,88 @@
+package nexus
+
+import (
+	"math"
+	"testing"
+
+	"nexus/internal/bins"
+	"nexus/internal/infotheory"
+	"nexus/internal/stats"
+	"nexus/internal/table"
+)
+
+// TestSlotMIMatchesRowLevel checks the outcome×slot contingency shortcut
+// against the generic row-level mutual information.
+func TestSlotMIMatchesRowLevel(t *testing.T) {
+	rng := stats.NewRNG(3)
+	nSlots, rowsPer := 40, 25
+	n := nSlots * rowsPer
+	slotCodes := make([]int32, nSlots) // entity-level attribute codes
+	for i := range slotCodes {
+		if rng.Float64() < 0.2 {
+			slotCodes[i] = bins.Missing
+		} else {
+			slotCodes[i] = int32(rng.Intn(4))
+		}
+	}
+	oVals := make([]float64, n)
+	rowSlot := make([]int32, n)
+	for i := 0; i < n; i++ {
+		rowSlot[i] = int32(i % nSlots)
+		base := 0.0
+		if c := slotCodes[rowSlot[i]]; c != bins.Missing {
+			base = float64(c)
+		}
+		oVals[i] = base + rng.Norm()
+	}
+	o, err := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Contingency (o code × slot).
+	oSlot := make([][]float64, o.Card)
+	for i := range oSlot {
+		oSlot[i] = make([]float64, nSlots)
+	}
+	for i := 0; i < n; i++ {
+		if o.Codes[i] != bins.Missing {
+			oSlot[o.Codes[i]][rowSlot[i]]++
+		}
+	}
+	fast := slotMI(oSlot, slotCodes, 4)
+
+	// Row-level reference.
+	rowCodes := make([]int32, n)
+	for i := range rowCodes {
+		rowCodes[i] = slotCodes[rowSlot[i]]
+	}
+	e := &bins.Encoded{Name: "E", Card: 4, Codes: rowCodes}
+	slow := infotheory.MutualInfo(o, e, nil)
+	if math.Abs(fast-slow) > 1e-9 {
+		t.Fatalf("slotMI = %v, row-level MI = %v", fast, slow)
+	}
+}
+
+func TestPermuteObservedPreservesPattern(t *testing.T) {
+	codes := []int32{0, bins.Missing, 1, 2, bins.Missing, 0}
+	out := permuteObserved(codes, stats.NewRNG(7))
+	if out[1] != bins.Missing || out[4] != bins.Missing {
+		t.Fatal("missing positions moved")
+	}
+	// Multiset of observed codes preserved.
+	count := map[int32]int{}
+	for i, c := range out {
+		if c == bins.Missing {
+			continue
+		}
+		count[c]++
+		_ = i
+	}
+	if count[0] != 2 || count[1] != 1 || count[2] != 1 {
+		t.Fatalf("observed multiset changed: %v", count)
+	}
+	// Input untouched.
+	if codes[0] != 0 || codes[2] != 1 {
+		t.Fatal("permuteObserved mutated input")
+	}
+}
