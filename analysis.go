@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"nexus/internal/bins"
 	"nexus/internal/core"
@@ -14,6 +13,7 @@ import (
 	"nexus/internal/infotheory"
 	"nexus/internal/missing"
 	"nexus/internal/ned"
+	"nexus/internal/obs"
 	"nexus/internal/sqlx"
 	"nexus/internal/stats"
 	"nexus/internal/subgroups"
@@ -39,10 +39,14 @@ type Analysis struct {
 	// LinkStats records NED outcomes per link column.
 	LinkStats map[string]ned.Stats
 
-	session   *Session
-	binOpts   bins.Options
-	byName    map[string]*core.Candidate
-	numBiased int32
+	session *Session
+	binOpts bins.Options
+	byName  map[string]*core.Candidate
+	// metrics is the counter set every lazy pipeline stage (IPW detection,
+	// permutation tests, encoding-cache hits) reports into. It is the
+	// session trace's counter set when tracing is on, and a private set
+	// otherwise — one storage, so NumBiased and the trace cannot disagree.
+	metrics *obs.Counters
 }
 
 // adaptiveBins picks the discretization granularity from the view size:
@@ -81,7 +85,9 @@ func adaptiveBins(rows int) int {
 
 // Prepare parses and executes sql, then assembles the explanation problem.
 func (s *Session) Prepare(sql string) (*Analysis, error) {
+	psp := s.opts.Trace.Start("parse")
 	q, err := sqlx.Parse(sql)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -90,10 +96,18 @@ func (s *Session) Prepare(sql string) (*Analysis, error) {
 
 // PrepareQuery is Prepare for a pre-parsed query.
 func (s *Session) PrepareQuery(q *sqlx.Query) (*Analysis, error) {
+	tr := s.opts.Trace
+	psp := tr.Start("prepare")
+	defer psp.End()
+
+	esp := tr.Start("execute-query")
 	res, err := sqlx.Execute(q, s.catalog)
 	if err != nil {
+		esp.End()
 		return nil, err
 	}
+	esp.SetInt("view-rows", int64(res.View.NumRows()))
+	esp.End()
 	a := &Analysis{
 		Query:     q,
 		Result:    res,
@@ -102,28 +116,36 @@ func (s *Session) PrepareQuery(q *sqlx.Query) (*Analysis, error) {
 		session:   s,
 		binOpts:   s.opts.Bins,
 		byName:    map[string]*core.Candidate{},
+		metrics:   tr.Counters(),
+	}
+	if a.metrics == nil {
+		a.metrics = obs.NewCounters()
 	}
 	if a.binOpts.Bins == 0 || s.opts.AutoBins {
 		a.binOpts.Bins = adaptiveBins(res.View.NumRows())
 	}
 
 	// Encode exposure (possibly multiple grouping attributes) and outcome.
+	csp := tr.Start("encode-exposure-outcome")
 	parts := make([]*bins.Encoded, 0, len(res.Exposure))
 	for _, g := range res.Exposure {
 		e, err := bins.Encode(res.View.MustColumn(g), a.binOpts)
 		if err != nil {
+			csp.End()
 			return nil, err
 		}
 		parts = append(parts, e)
 	}
 	a.T = core.CombineExposure(parts)
 	a.O, err = bins.Encode(res.View.MustColumn(res.Outcome), a.binOpts)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Input-table candidates: every view column except T, O and the WHERE
 	// attributes (constants within the context).
+	isp := tr.Start("input-candidates")
 	exclude := append([]string{res.Outcome}, res.Exposure...)
 	for _, c := range q.Where {
 		exclude = append(exclude, c.Attr)
@@ -131,19 +153,25 @@ func (s *Session) PrepareQuery(q *sqlx.Query) (*Analysis, error) {
 	exclude = append(exclude, s.excludes[q.Table]...)
 	inputCands, err := core.CandidatesFromTable(res.View, exclude, a.binOpts)
 	if err != nil {
+		isp.End()
 		return nil, err
 	}
 	a.Candidates = append(a.Candidates, inputCands...)
+	isp.SetInt("candidates", int64(len(inputCands)))
+	isp.End()
 
 	// KG candidates over the view.
 	if s.graph != nil {
 		links := s.linkColumnsIn(q.Table, res.View)
 		if len(links) > 0 {
+			ksp := tr.Start("kg-extract")
 			ex, err := extract.Extract(res.View, links, s.graph, s.linker, extract.Options{
 				Hops:      s.opts.Hops,
 				OneToMany: s.opts.OneToMany,
+				Trace:     tr,
 			})
 			if err != nil {
+				ksp.End()
 				return nil, err
 			}
 			a.Extraction = ex
@@ -153,6 +181,8 @@ func (s *Session) PrepareQuery(q *sqlx.Query) (*Analysis, error) {
 			for _, attr := range ex.Attrs {
 				a.Candidates = append(a.Candidates, s.kgCandidate(a, attr))
 			}
+			ksp.SetInt("attributes", int64(len(ex.Attrs)))
+			ksp.End()
 		}
 	}
 	for _, c := range a.Candidates {
@@ -190,7 +220,22 @@ func (s *Session) kgCandidate(a *Analysis, attr *extract.Attribute) *core.Candid
 		c.EntityCard = attr.Col.DistinctCount()
 		c.EntityComplete = attr.Col.Len() - attr.Col.NullCount()
 	}
-	c.Enc = func() (*bins.Encoded, error) { return attr.Encode(a.binOpts) }
+	// Row-level encoding cache: pruning, MCIMR and the final ranking all
+	// re-request the encoding; repeat calls are counted as cache hits.
+	var encOnce sync.Once
+	var encCached *bins.Encoded
+	var encErr error
+	c.Enc = func() (*bins.Encoded, error) {
+		hit := true
+		encOnce.Do(func() {
+			hit = false
+			encCached, encErr = attr.Encode(a.binOpts)
+		})
+		if hit {
+			a.metrics.Add(obs.CacheHits, 1)
+		}
+		return encCached, encErr
+	}
 
 	// Permutation at entity granularity: shuffle the entity-level codes
 	// across slots, then broadcast through the row→slot mapping. This is the
@@ -238,22 +283,26 @@ func (s *Session) kgCandidate(a *Analysis, attr *extract.Attribute) *core.Candid
 				oSlot[oc][sl]++
 			}
 		})
+		a.metrics.Add(obs.CITests, 1)
 		observed := slotMI(oSlot, ent.Codes, ent.Card)
 		if observed <= 0 {
 			return false, true
 		}
 		exceed := 0
 		rng := stats.NewRNG(seed*0x9e3779b9 + hashString(attr.Name))
+		ran := 0
 		for t := 0; t < b; t++ {
+			ran++
 			perm := permuteObserved(ent.Codes, rng)
 			if slotMI(oSlot, perm, ent.Card) >= observed {
 				exceed++
 				if exceed > allow {
-					return false, true
+					break
 				}
 			}
 		}
-		return true, true
+		a.metrics.Add(obs.PermutationsRun, int64(ran))
+		return exceed <= allow, true
 	}
 
 	if s.opts.DisableIPW {
@@ -358,11 +407,12 @@ func (s *Session) ipwWeights(a *Analysis, attr *extract.Attribute) []float64 {
 	if err != nil {
 		return nil
 	}
-	rep := missing.DetectBias(entEnc, map[string]*bins.Encoded{"O": meanOEnc}, s.opts.BiasThreshold)
+	rep := missing.DetectBiasCounted(entEnc, map[string]*bins.Encoded{"O": meanOEnc}, s.opts.BiasThreshold, a.metrics)
 	if !rep.Biased {
 		return nil
 	}
-	atomic.AddInt32(&a.numBiased, 1)
+	a.metrics.Add(obs.BiasedAttrs, 1)
+	a.metrics.Add(obs.IPWFits, 1)
 	slotW := missing.Weights(entEnc, meanO)
 	w := make([]float64, len(slots))
 	for i, sl := range slots {
@@ -374,8 +424,10 @@ func (s *Session) ipwWeights(a *Analysis, attr *extract.Attribute) []float64 {
 }
 
 // NumBiased returns the number of KG attributes flagged with selection bias
-// so far (detection is lazy; the count is complete after an Explain).
-func (a *Analysis) NumBiased() int { return int(atomic.LoadInt32(&a.numBiased)) }
+// so far (detection is lazy; the count is complete after an Explain). The
+// count is read from the same counter set a trace snapshots, so the two can
+// never disagree.
+func (a *Analysis) NumBiased() int { return int(a.metrics.Get(obs.BiasedAttrs)) }
 
 // KGCandidate wraps an extracted attribute (typically a modified copy, e.g.
 // with injected missingness) as a candidate with the session's usual lazy
@@ -389,7 +441,11 @@ func (a *Analysis) Candidate(name string) *core.Candidate { return a.byName[name
 
 // Explain runs the full MESA pipeline on the prepared analysis.
 func (a *Analysis) Explain() (*Report, error) {
-	ex, err := core.Explain(a.T, a.O, a.Candidates, a.session.opts.Core)
+	opts := a.session.opts.Core
+	if opts.Trace == nil {
+		opts.Trace = a.session.opts.Trace
+	}
+	ex, err := core.Explain(a.T, a.O, a.Candidates, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -469,7 +525,10 @@ func (r *Report) Subgroups(k int, tau float64) ([]subgroups.Group, subgroups.Sta
 	if err != nil {
 		return nil, subgroups.Stats{}, err
 	}
-	return subgroups.TopUnexplained(r.Analysis.T, r.Analysis.O, encs, attrs, subgroups.Options{K: k, Tau: tau})
+	return subgroups.TopUnexplained(r.Analysis.T, r.Analysis.O, encs, attrs, subgroups.Options{
+		K: k, Tau: tau,
+		Trace: r.Analysis.session.opts.Trace,
+	})
 }
 
 // ExplainSubgroup re-explains the query inside one unexplained subgroup —

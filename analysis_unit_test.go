@@ -1,0 +1,82 @@
+package nexus
+
+import (
+	"sort"
+	"testing"
+
+	"nexus/internal/bins"
+	"nexus/internal/stats"
+)
+
+func TestAdaptiveBinsBoundaries(t *testing.T) {
+	cases := []struct {
+		rows, want int
+	}{
+		{0, 4},
+		{1, 4},
+		{599, 4},
+		{600, 6},
+		{3999, 6},
+		{4000, 8},
+		{5000000, 8},
+	}
+	for _, c := range cases {
+		if got := adaptiveBins(c.rows); got != c.want {
+			t.Errorf("adaptiveBins(%d) = %d, want %d", c.rows, got, c.want)
+		}
+	}
+}
+
+func TestPermuteObservedPreservesMissingness(t *testing.T) {
+	codes := []int32{2, bins.Missing, 0, 1, bins.Missing, 3, 1, 0, bins.Missing, 2}
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		out := permuteObserved(codes, rng)
+		if len(out) != len(codes) {
+			t.Fatalf("length changed: %d != %d", len(out), len(codes))
+		}
+		var origObs, permObs []int32
+		for i := range codes {
+			if (codes[i] == bins.Missing) != (out[i] == bins.Missing) {
+				t.Fatalf("trial %d: missingness mask changed at %d: in=%d out=%d", trial, i, codes[i], out[i])
+			}
+			if codes[i] != bins.Missing {
+				origObs = append(origObs, codes[i])
+				permObs = append(permObs, out[i])
+			}
+		}
+		sort.Slice(origObs, func(a, b int) bool { return origObs[a] < origObs[b] })
+		sort.Slice(permObs, func(a, b int) bool { return permObs[a] < permObs[b] })
+		for i := range origObs {
+			if origObs[i] != permObs[i] {
+				t.Fatalf("trial %d: observed multiset changed: %v vs %v", trial, origObs, permObs)
+			}
+		}
+	}
+	// The input must not be mutated.
+	want := []int32{2, bins.Missing, 0, 1, bins.Missing, 3, 1, 0, bins.Missing, 2}
+	for i := range codes {
+		if codes[i] != want[i] {
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}
+
+func TestPermuteObservedShuffles(t *testing.T) {
+	// With 60 distinct observed values the identity permutation is
+	// vanishingly unlikely; catch a permuteObserved that never moves data.
+	codes := make([]int32, 60)
+	for i := range codes {
+		codes[i] = int32(i)
+	}
+	out := permuteObserved(codes, stats.NewRNG(3))
+	same := 0
+	for i := range codes {
+		if out[i] == codes[i] {
+			same++
+		}
+	}
+	if same == len(codes) {
+		t.Fatal("permuteObserved returned the identity permutation on 60 values")
+	}
+}

@@ -11,6 +11,8 @@
 package nexus_test
 
 import (
+	"encoding/json"
+	"os"
 	"sync"
 	"testing"
 
@@ -19,6 +21,7 @@ import (
 	"nexus/internal/core"
 	"nexus/internal/harness"
 	"nexus/internal/kg"
+	"nexus/internal/obs"
 	"nexus/internal/workload"
 )
 
@@ -282,6 +285,122 @@ func BenchmarkHeadlineFlights(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(ex.Attrs)), "explanation-size")
+	}
+}
+
+// benchAnalysis prepares the SO Q1 analysis once for the Explain benchmarks.
+var (
+	benchAnalysisOnce sync.Once
+	benchAnalysisVal  *nexus.Analysis
+	benchAnalysisErr  error
+)
+
+func benchAnalysis() (*nexus.Analysis, error) {
+	benchAnalysisOnce.Do(func() {
+		world := kg.NewWorld(kg.WorldConfig{Seed: 11})
+		ds := workload.StackOverflow(world, workload.Config{Rows: 8000, Seed: 12})
+		sess := nexus.NewSession(world.Graph, nil)
+		sess.RegisterTable(ds.Name, ds.Table, ds.LinkColumns...)
+		sess.ExcludeCandidates(ds.Name, ds.ExcludeCandidates...)
+		benchAnalysisVal, benchAnalysisErr = sess.Prepare("SELECT Country, avg(Salary) FROM SO GROUP BY Country")
+	})
+	return benchAnalysisVal, benchAnalysisErr
+}
+
+// BenchmarkExplain is the observability-overhead baseline: the full core
+// pipeline on SO Q1 with a nil trace, i.e. every span and counter on the
+// allocation-free no-op path. Compare against BenchmarkExplainTraced.
+func BenchmarkExplain(b *testing.B) {
+	a, err := benchAnalysis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Explain(a.T, a.O, a.Candidates, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExplainTraced is BenchmarkExplain with a live (sink-less) trace,
+// measuring the cost of full span + counter collection.
+func BenchmarkExplainTraced(b *testing.B) {
+	a, err := benchAnalysis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Trace = obs.New("bench")
+		if _, err := core.Explain(a.T, a.O, a.Candidates, opts); err != nil {
+			b.Fatal(err)
+		}
+		opts.Trace.Close()
+	}
+}
+
+// benchObsEntry is one workload's record in BENCH_obs.json.
+type benchObsEntry struct {
+	Query    string           `json:"query"`
+	Rows     int              `json:"rows"`
+	TotalNS  int64            `json:"total_ns"`
+	PhasesNS map[string]int64 `json:"phases_ns"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// TestBenchObsJSON runs a traced end-to-end Explain for the SO and Flights
+// workloads at modest sizes and writes per-phase wall-clock plus the full
+// counter snapshot to BENCH_obs.json — a machine-readable profile for
+// tracking performance shape across commits.
+func TestBenchObsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping profile emission in -short mode")
+	}
+	workloads := []struct {
+		key   string
+		rows  int
+		make  func(*kg.World, workload.Config) *workload.Dataset
+		query string
+	}{
+		{"so", 8000, workload.StackOverflow, "SELECT Country, avg(Salary) FROM SO GROUP BY Country"},
+		{"flights", 20000, workload.Flights, "SELECT Origin_city, avg(Departure_delay) FROM Flights GROUP BY Origin_city"},
+	}
+	out := map[string]benchObsEntry{}
+	for _, w := range workloads {
+		tr := obs.New(w.key)
+		world := kg.NewWorld(kg.WorldConfig{Seed: 11})
+		ds := w.make(world, workload.Config{Rows: w.rows, Seed: 12})
+		sess := nexus.NewSession(world.Graph, &nexus.Options{Trace: tr})
+		sess.RegisterTable(ds.Name, ds.Table, ds.LinkColumns...)
+		sess.ExcludeCandidates(ds.Name, ds.ExcludeCandidates...)
+		if _, err := sess.Explain(w.query); err != nil {
+			t.Fatalf("%s: %v", w.key, err)
+		}
+		snap := tr.Close()
+		out[w.key] = benchObsEntry{
+			Query:    w.query,
+			Rows:     ds.Table.NumRows(),
+			TotalNS:  snap.TotalNS,
+			PhasesNS: snap.Flatten(),
+			Counters: snap.Counters,
+		}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for key, e := range out {
+		if e.Counters[obs.CITests] == 0 {
+			t.Errorf("%s: expected a nonzero %s counter", key, obs.CITests)
+		}
+		if len(e.PhasesNS) == 0 {
+			t.Errorf("%s: expected per-phase durations", key)
+		}
 	}
 }
 

@@ -20,29 +20,49 @@ import (
 
 	"nexus/internal/core"
 	"nexus/internal/harness"
+	"nexus/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,table4,randomq,missingstats,multihop,pruning,ablations,headline,all")
-		seed    = flag.Uint64("seed", 11, "world/workload seed")
-		scale   = flag.String("scale", "default", "dataset scale: default|test")
-		dataset = flag.String("dataset", "", "restrict runtime sweeps to one dataset (default: the paper's set)")
-		rows    = flag.Int("rows", 0, "row count for -exp headline (default 1000000; paper 5819079)")
+		exp       = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,table4,randomq,missingstats,multihop,pruning,ablations,headline,all")
+		seed      = flag.Uint64("seed", 11, "world/workload seed")
+		scale     = flag.String("scale", "default", "dataset scale: default|test")
+		dataset   = flag.String("dataset", "", "restrict runtime sweeps to one dataset (default: the paper's set)")
+		rows      = flag.Int("rows", 0, "row count for -exp headline (default 1000000; paper 5819079)")
+		trace     = flag.Bool("trace", false, "print the phase trace tree (spans + counters) to stderr")
+		traceJSON = flag.String("trace-json", "", "stream trace events as JSON lines to this file")
 	)
 	flag.Parse()
+
+	// Every phase — suite build and each experiment — runs under one trace,
+	// so the reported totals are span durations, not ad-hoc stopwatches.
+	tr := obs.New("experiments")
+	var jsonSink *obs.JSONLSink
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonSink = obs.NewJSONLSink(f)
+		tr.AddSink(jsonSink)
+	}
 
 	sc := harness.DefaultScale()
 	if *scale == "test" {
 		sc = harness.TestScale()
 	}
 	fmt.Printf("building world + datasets (seed %d, scale %s)...\n", *seed, *scale)
-	start := time.Now()
+	bsp := tr.Start("build-suite")
 	suite := harness.NewSuite(*seed, sc)
-	fmt.Printf("ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+	bsp.End()
+	fmt.Printf("ready in %v\n\n", bsp.Duration().Round(time.Millisecond))
 
 	opts := core.DefaultOptions()
 	opts.Seed = *seed
+	opts.Trace = tr
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -53,12 +73,13 @@ func main() {
 		if !all && !want[name] {
 			return
 		}
-		t0 := time.Now()
+		sp := tr.Start("exp " + name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		sp.End()
+		fmt.Printf("[%s done in %v]\n\n", name, sp.Duration().Round(time.Millisecond))
 	}
 
 	run("table1", func() error {
@@ -236,6 +257,22 @@ func main() {
 			n, p.Elapsed.Round(time.Millisecond), p.ExplSize)
 		return nil
 	})
+
+	snap := tr.Close()
+	if *trace {
+		fmt.Fprintln(os.Stderr)
+		if err := snap.WriteTree(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if jsonSink != nil {
+		if err := jsonSink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("total %v\n", time.Duration(snap.TotalNS).Round(time.Millisecond))
 }
 
 func datasetsOr(override string, defaults ...string) []string {

@@ -22,6 +22,7 @@ import (
 
 	"nexus"
 	"nexus/internal/kg"
+	"nexus/internal/obs"
 	"nexus/internal/table"
 	"nexus/internal/workload"
 )
@@ -38,6 +39,8 @@ func main() {
 		hops      = flag.Int("hops", 1, "KG extraction depth")
 		subgroups = flag.Int("subgroups", 0, "also report the top-k unexplained subgroups")
 		noIPW     = flag.Bool("no-ipw", false, "disable selection-bias detection and IPW")
+		trace     = flag.Bool("trace", false, "print the phase trace tree (spans + counters) to stderr")
+		traceJSON = flag.String("trace-json", "", "stream trace events as JSON lines to this file")
 	)
 	flag.Parse()
 	if *sql == "" {
@@ -46,10 +49,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Println("generating knowledge graph...")
-	world := kg.NewWorld(kg.WorldConfig{Seed: *seed})
-	sess := nexus.NewSession(world.Graph, &nexus.Options{Hops: *hops, DisableIPW: *noIPW})
+	// Every phase below runs inside the trace, so the reported total is the
+	// root span — the printed tree sums to it by construction.
+	tr := obs.New("nexus")
+	var jsonSink *obs.JSONLSink
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		jsonSink = obs.NewJSONLSink(f)
+		tr.AddSink(jsonSink)
+	}
 
+	fmt.Println("generating knowledge graph...")
+	wsp := tr.Start("world-gen")
+	world := kg.NewWorld(kg.WorldConfig{Seed: *seed})
+	wsp.End()
+	sess := nexus.NewSession(world.Graph, &nexus.Options{Hops: *hops, DisableIPW: *noIPW, Trace: tr})
+
+	lsp := tr.Start("load-dataset")
 	switch {
 	case *csvPath != "":
 		f, err := os.Open(*csvPath)
@@ -76,8 +96,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nexus: provide -dataset or -csv")
 		os.Exit(2)
 	}
+	lsp.End()
 
-	start := time.Now()
 	rep, err := sess.Explain(*sql)
 	if err != nil {
 		fatal(err)
@@ -98,7 +118,20 @@ func main() {
 			fmt.Printf("  %d. size=%-8d score=%.3f  %s\n", i+1, g.Size, g.Score, g.String())
 		}
 	}
-	fmt.Printf("\ntotal %v\n", time.Since(start).Round(time.Millisecond))
+
+	snap := tr.Close()
+	if *trace {
+		fmt.Fprintln(os.Stderr)
+		if err := snap.WriteTree(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if jsonSink != nil {
+		if err := jsonSink.Err(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("\ntotal %v\n", time.Duration(snap.TotalNS).Round(time.Millisecond))
 }
 
 func makeDataset(world *kg.World, name string, rows int, seed uint64) *workload.Dataset {

@@ -3,6 +3,7 @@ package core
 import (
 	"nexus/internal/bins"
 	"nexus/internal/infotheory"
+	"nexus/internal/obs"
 	"nexus/internal/stats"
 )
 
@@ -17,13 +18,15 @@ import (
 // (Lemma 4.2) and by the permutation variant of the low-relevance prune:
 // entity-level attributes correlate with the outcome by chance at entity
 // granularity, which row-level χ² corrections cannot account for.
-func permDependent(o *bins.Encoded, cand *Candidate, enc *bins.Encoded, given []infotheory.Var,
+func permDependent(tr *obs.Trace, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, given []infotheory.Var,
 	b, allow, parallelism int, seed uint64) bool {
 
+	tr.Add(obs.CITests, 1)
 	observed := infotheory.CondMutualInfo(o, enc, given, nil)
 	if observed <= 0 {
 		return false
 	}
+	tr.Add(obs.PermutationsRun, int64(b))
 	exceed := make([]bool, b)
 	base := seed*0x9e3779b9 + uint64(len(given))*1000003 + hashName(cand.Name)
 	parallelFor(b, parallelism, func(i int) {

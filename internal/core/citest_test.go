@@ -58,7 +58,7 @@ func TestPermDependentDetectsEntityLevelSignal(t *testing.T) {
 		oVals[i] = 2*entVals[i%nEnt] + 0.3*rng.Norm()
 	}
 	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
-	if !permDependent(o, cand, enc, nil, 19, 0, 1, 7) {
+	if !permDependent(nil, o, cand, enc, nil, 19, 0, 1, 7) {
 		t.Fatal("real entity-level dependence not detected")
 	}
 }
@@ -88,7 +88,7 @@ func TestPermDependentRejectsEntityChance(t *testing.T) {
 			entVals[i] = rng.Norm() // junk: independent of O's entity means
 		}
 		cand, enc := entityCandidate(t, fmt.Sprintf("junk%d", tr), entVals, rowsPer)
-		if !permDependent(o, cand, enc, nil, 19, 0, 1, uint64(tr)) {
+		if !permDependent(nil, o, cand, enc, nil, 19, 0, 1, uint64(tr)) {
 			rejected++
 		}
 	}
@@ -107,7 +107,7 @@ func TestPermDependentZeroObserved(t *testing.T) {
 		oVals[i] = rng.Norm()
 	}
 	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
-	if permDependent(o, cand, enc, nil, 9, 0, 1, 1) {
+	if permDependent(nil, o, cand, enc, nil, 9, 0, 1, 1) {
 		t.Fatal("constant candidate reported dependent")
 	}
 }
@@ -124,8 +124,8 @@ func TestPermDependentDeterministic(t *testing.T) {
 		oVals[i] = 0.5*entVals[i%80] + rng.Norm()
 	}
 	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
-	a := permDependent(o, cand, enc, nil, 19, 0, 1, 42)
-	b := permDependent(o, cand, enc, nil, 19, 0, 1, 42)
+	a := permDependent(nil, o, cand, enc, nil, 19, 0, 1, 42)
+	b := permDependent(nil, o, cand, enc, nil, 19, 0, 1, 42)
 	if a != b {
 		t.Fatal("permDependent not deterministic for fixed seed")
 	}

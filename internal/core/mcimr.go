@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"time"
 
 	"nexus/internal/bins"
 	"nexus/internal/infotheory"
+	"nexus/internal/obs"
 	"nexus/internal/stats"
 )
 
@@ -65,6 +67,11 @@ type Options struct {
 	// paper contrasts with its stopping criterion (§6, Feature Selection).
 	// Used by the ablation harness.
 	DisableStopping bool
+	// Trace, when non-nil, receives per-phase spans (pruning, relevance
+	// pass, each MCIMR iteration with candidate name and CMI) and counters
+	// (CI tests, permutations, per-rule prune drops). Nil disables
+	// instrumentation at near-zero cost.
+	Trace *obs.Trace
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -148,6 +155,9 @@ func (e *Explanation) Names() []string {
 func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation, error) {
 	opts.applyDefaults()
 	start := time.Now()
+	tr := opts.Trace
+	esp := tr.Start("core-explain")
+	defer esp.End()
 
 	res := &Explanation{BaseScore: infotheory.MutualInfo(o, t, nil)}
 
@@ -155,7 +165,9 @@ func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation
 	if !opts.DisableOfflinePrune {
 		var err error
 		var stats PruneStats
-		working, stats, err = OfflinePrune(working, opts.Prune)
+		sp := tr.Start("offline-prune")
+		working, stats, err = OfflinePruneTraced(tr, working, opts.Prune)
+		recordPruneSpan(tr, sp, "offline", stats)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +176,9 @@ func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation
 	if !opts.DisableOnlinePrune {
 		var err error
 		var stats PruneStats
-		working, stats, err = OnlinePrune(t, o, working, opts.Prune)
+		sp := tr.Start("online-prune")
+		working, stats, err = OnlinePruneTraced(tr, t, o, working, opts.Prune)
+		recordPruneSpan(tr, sp, "online", stats)
 		if err != nil {
 			return nil, err
 		}
@@ -180,10 +194,31 @@ func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation
 	// Final joint score and responsibilities over the selected set.
 	encs := sel.Encs
 	w := combineWeights(sel.Weights...)
+	ssp := tr.Start("final-score")
 	res.Score = infotheory.CondMutualInfo(o, t, encs, w)
+	ssp.End()
+	rsp := tr.Start("responsibility")
 	assignResponsibilities(t, o, res, encs, w)
+	rsp.SetInt("explanation-size", int64(len(res.Attrs)))
+	rsp.End()
 	res.Elapsed = time.Since(start)
+	esp.SetFloat("base-score", res.BaseScore)
+	esp.SetFloat("score", res.Score)
 	return res, nil
+}
+
+// recordPruneSpan closes a prune-phase span with its input/kept counts and
+// mirrors the per-rule drop counts into the trace's counter set
+// (pruned.<phase>.<rule>).
+func recordPruneSpan(tr *obs.Trace, sp *obs.Span, phase string, st PruneStats) {
+	if tr != nil {
+		for reason, n := range st.Dropped {
+			tr.Add(obs.PrunedCounter(phase, string(reason)), int64(n))
+		}
+	}
+	sp.SetInt("input", int64(st.Input))
+	sp.SetInt("kept", int64(st.Kept))
+	sp.End()
 }
 
 // Selection is the raw MCIMR output: the chosen attributes with their
@@ -199,6 +234,9 @@ type Selection struct {
 // when the responsibility test (Lemma 4.2) fails for the next attribute.
 func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, error) {
 	opts.applyDefaults()
+	tr := opts.Trace
+	msp := tr.Start("mcimr")
+	defer msp.End()
 	sel := &Selection{}
 	if len(cands) == 0 {
 		return sel, nil
@@ -217,6 +255,7 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 	currentScore := baseScore
 
 	// Pass 1: individual relevance of every candidate (parallel).
+	rsp := tr.Start("relevance-pass")
 	parallelFor(len(cands), opts.Parallelism, func(i int) {
 		st := &state{cand: cands[i]}
 		states[i] = st
@@ -228,6 +267,9 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 		w := weightsFor(cands[i], enc)
 		st.relevance = infotheory.CondMutualInfo(o, t, []infotheory.Var{enc}, w)
 	})
+	tr.Add(obs.CandidatesScored, int64(len(cands)))
+	rsp.SetInt("candidates", int64(len(cands)))
+	rsp.End()
 	for _, st := range states {
 		if st.err != nil {
 			return nil, fmt.Errorf("core: MCIMR relevance pass: %w", st.err)
@@ -239,6 +281,10 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 		// NextBestAtt: minimize relevance + redundancy/|E| (Eq. 5).
 		// Candidates that fail the responsibility test or the gain guard
 		// are skipped (bounded by SkipBudget) and the next-best is tried.
+		var isp *obs.Span
+		if tr != nil {
+			isp = tr.Start("iteration " + strconv.Itoa(iter+1))
+		}
 		var st *state
 		var enc *bins.Encoded
 		var w []float64
@@ -257,11 +303,19 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 				}
 			}
 			if bestIdx < 0 {
+				isp.SetStr("outcome", "pool-exhausted")
+				isp.End()
 				return sel, nil // pool exhausted
 			}
 			cst := states[bestIdx]
+			var csp *obs.Span
+			if tr != nil {
+				csp = tr.Start("consider " + cst.cand.Name)
+			}
 			e, err := cst.cand.Enc()
 			if err != nil {
+				csp.End()
+				isp.End()
 				return nil, err
 			}
 			cw := weightsFor(cst.cand, e)
@@ -271,7 +325,12 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 			if !opts.DisableStopping && respIndependent(o, cst.cand, e, sel, cw, opts, iter) {
 				cst.skipped = true
 				skipsLeft--
+				tr.Add(obs.MCIMRSkips, 1)
+				csp.SetStr("outcome", "skip:responsibility-test")
+				csp.End()
 				if skipsLeft < 0 {
+					isp.SetStr("outcome", "skip-budget-exhausted")
+					isp.End()
 					return sel, nil
 				}
 				continue
@@ -287,16 +346,29 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 				!gainSignificant(t, o, cst.cand, e, sel, opts, iter)) {
 				cst.skipped = true
 				skipsLeft--
+				tr.Add(obs.MCIMRSkips, 1)
+				csp.SetStr("outcome", "skip:gain-guard")
+				csp.SetFloat("cmi", newScore)
+				csp.End()
 				if skipsLeft < 0 {
+					isp.SetStr("outcome", "skip-budget-exhausted")
+					isp.End()
 					return sel, nil
 				}
 				continue
 			}
 			currentScore = newScore
 			st, enc, w = cst, e, cw
+			csp.SetStr("outcome", "selected")
+			csp.SetFloat("cmi", newScore)
+			csp.End()
 		}
 
 		st.selected = true
+		tr.Add(obs.MCIMRIterations, 1)
+		isp.SetStr("candidate", st.cand.Name)
+		isp.SetFloat("cmi", currentScore)
+		isp.SetFloat("relevance", st.relevance)
 		sel.Attrs = append(sel.Attrs, SelectedAttr{
 			Name:      st.cand.Name,
 			Origin:    st.cand.Origin,
@@ -307,10 +379,12 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 		sel.Weights = append(sel.Weights, w)
 
 		if iter == opts.K-1 {
+			isp.End()
 			break
 		}
 		// Accumulate redundancy with the newly selected attribute
 		// (parallel over remaining candidates).
+		red := tr.Start("redundancy-pass")
 		parallelFor(len(states), opts.Parallelism, func(i int) {
 			si := states[i]
 			if si.selected || si.skipped || si.err != nil {
@@ -324,6 +398,8 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 			wi := combineWeights(weightsFor(si.cand, encI), w)
 			si.redSum += infotheory.MutualInfo(encI, enc, wi)
 		})
+		red.End()
+		isp.End()
 		for _, si := range states {
 			if si.err != nil {
 				return nil, fmt.Errorf("core: MCIMR redundancy pass: %w", si.err)
@@ -345,10 +421,11 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 // weights.
 func respIndependent(o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *Selection, w []float64, opts Options, iter int) bool {
 	if cand.Permute == nil {
+		opts.Trace.Add(obs.CITests, 1)
 		testW := combineWeights(append(append([][]float64(nil), sel.Weights...), w)...)
 		return infotheory.CondIndependent(o, enc, sel.Encs, testW, opts.RespThreshold)
 	}
-	return !permDependent(o, cand, enc, sel.Encs, opts.PermTests, opts.PermAllow, opts.Parallelism,
+	return !permDependent(opts.Trace, o, cand, enc, sel.Encs, opts.PermTests, opts.PermAllow, opts.Parallelism,
 		opts.Seed+uint64(iter))
 }
 
@@ -363,6 +440,8 @@ func gainSignificant(t, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel
 	if cand.Permute == nil {
 		return true
 	}
+	opts.Trace.Add(obs.CITests, 1)
+	opts.Trace.Add(obs.PermutationsRun, int64(opts.GainPermTests))
 	observed := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, sel.Encs...), enc), nil)
 	b := opts.GainPermTests
 	exceed := make([]bool, b)

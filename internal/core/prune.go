@@ -6,6 +6,7 @@ import (
 
 	"nexus/internal/bins"
 	"nexus/internal/infotheory"
+	"nexus/internal/obs"
 )
 
 // PruneOptions tunes the §4.2 pruning optimizations.
@@ -76,6 +77,11 @@ func newPruneStats(input int) PruneStats {
 // pruning"): constants, mostly-missing attributes, and near-unique
 // identifiers. It does not need T or O and can run at ingestion time.
 func OfflinePrune(cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
+	return OfflinePruneTraced(nil, cands, opts)
+}
+
+// OfflinePruneTraced is OfflinePrune reporting into a trace (nil = no-op).
+func OfflinePruneTraced(tr *obs.Trace, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
 	stats := newPruneStats(len(cands))
 	kept := make([]*Candidate, 0, len(cands))
 	type verdict struct {
@@ -128,6 +134,13 @@ func OfflinePrune(cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneSta
 // on such attributes fakes a perfect explanation) and the low-relevance test
 // (appendix Relevance Test).
 func OnlinePrune(t, o *bins.Encoded, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
+	return OnlinePruneTraced(nil, t, o, cands, opts)
+}
+
+// OnlinePruneTraced is OnlinePrune reporting CI-test and permutation counts
+// into a trace (nil = no-op). Counters only: the per-candidate work runs on
+// parallel workers, where spans are not safe to open.
+func OnlinePruneTraced(tr *obs.Trace, t, o *bins.Encoded, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
 	stats := newPruneStats(len(cands))
 	type verdict struct {
 		keep   bool
@@ -154,10 +167,13 @@ func OnlinePrune(t, o *bins.Encoded, cands []*Candidate, opts PruneOptions) ([]*
 		}
 		// Low relevance: (O ⊥ E | C) and (O ⊥ E | C, T). The conditional
 		// test is only needed when the (cheaper) marginal one fired.
-		if infotheory.CondIndependent(o, enc, nil, w, opts.RelevanceThreshold) &&
-			infotheory.CondIndependent(o, enc, []infotheory.Var{t}, w, opts.RelevanceThreshold) {
-			verdicts[i] = verdict{reason: PruneIrrelevant}
-			return
+		tr.Add(obs.CITests, 1)
+		if infotheory.CondIndependent(o, enc, nil, w, opts.RelevanceThreshold) {
+			tr.Add(obs.CITests, 1)
+			if infotheory.CondIndependent(o, enc, []infotheory.Var{t}, w, opts.RelevanceThreshold) {
+				verdicts[i] = verdict{reason: PruneIrrelevant}
+				return
+			}
 		}
 		// Permutation relevance: the dependence on O must beat a source-
 		// granularity permutation null (kills entity-sampling chance).
@@ -174,7 +190,7 @@ func OnlinePrune(t, o *bins.Encoded, cands []*Candidate, opts PruneOptions) ([]*
 				if c.Permute == nil || enc.Len() > permBudget(opts) {
 					dependent = true // cannot test affordably; keep
 				} else {
-					dependent = permDependent(o, c, enc, nil, b, 0, 1, 0x5eed+uint64(i))
+					dependent = permDependent(tr, o, c, enc, nil, b, 0, 1, 0x5eed+uint64(i))
 				}
 			}
 			if !dependent {

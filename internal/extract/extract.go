@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"nexus/internal/bins"
 	"nexus/internal/kg"
 	"nexus/internal/ned"
+	"nexus/internal/obs"
 	"nexus/internal/table"
 )
 
@@ -28,6 +30,9 @@ type Options struct {
 	// OneToMany aggregates multi-valued numeric sub-properties
 	// ("Avg Population size of Ethnic Group"). Default table.AggMean.
 	OneToMany table.AggFunc
+	// Trace, when non-nil, receives per-link-column NED and graph-walk
+	// spans plus entity-linking and per-hop attribute counters.
+	Trace *obs.Trace
 }
 
 // DefaultOptions matches the paper's default configuration.
@@ -48,6 +53,15 @@ type Attribute struct {
 	Col *table.Column
 
 	rowSlot []int32 // shared per link column; base row → slot, -1 unresolved
+
+	// Entity-level encoding cache: the IPW detector, the permutation tests
+	// and the fast marginal test all re-encode the same entity column with
+	// the same options; one binning pass serves them all.
+	encMu  sync.Mutex
+	encKey bins.Options
+	entEnc *bins.Encoded
+	entErr error
+	encOK  bool
 }
 
 // Materialize broadcasts the entity-level values to a row-level column
@@ -80,7 +94,7 @@ func (a *Attribute) Materialize() *table.Column {
 // distribution (documented deviation: pyitlib binned row-level, which
 // differs only when group sizes are very uneven).
 func (a *Attribute) Encode(opts bins.Options) (*bins.Encoded, error) {
-	ent, err := bins.Encode(a.Col, opts)
+	ent, err := a.EntityEncode(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -95,9 +109,17 @@ func (a *Attribute) Encode(opts bins.Options) (*bins.Encoded, error) {
 	return &bins.Encoded{Name: a.Name, Codes: codes, Card: ent.Card, Labels: ent.Labels}, nil
 }
 
-// EntityEncode discretizes at entity level only (one code per slot).
+// EntityEncode discretizes at entity level only (one code per slot). The
+// result is cached per options and shared — callers must not mutate it.
 func (a *Attribute) EntityEncode(opts bins.Options) (*bins.Encoded, error) {
-	return bins.Encode(a.Col, opts)
+	a.encMu.Lock()
+	defer a.encMu.Unlock()
+	if a.encOK && a.encKey == opts {
+		return a.entEnc, a.entErr
+	}
+	a.entEnc, a.entErr = bins.Encode(a.Col, opts)
+	a.encKey, a.encOK = opts, true
+	return a.entEnc, a.entErr
 }
 
 // RowSlots exposes the base-row → entity-slot mapping (-1 = unresolved).
@@ -190,6 +212,12 @@ func Extract(base *table.Table, linkCols []string, g *kg.Graph, linker *ned.Link
 			res.Attrs = append(res.Attrs, a)
 		}
 	}
+	if opts.Trace != nil {
+		opts.Trace.Add(obs.KGAttrs, int64(len(res.Attrs)))
+		for _, a := range res.Attrs {
+			opts.Trace.Add(obs.HopCounter(a.Hops), 1)
+		}
+	}
 	return res, nil
 }
 
@@ -197,6 +225,10 @@ func extractColumn(base *table.Table, col *table.Column, g *kg.Graph, linker *ne
 	n := col.Len()
 
 	// Slot per distinct value; resolve each once.
+	var nsp *obs.Span
+	if opts.Trace != nil {
+		nsp = opts.Trace.Start("ned " + col.Name)
+	}
 	linker.ResetStats()
 	slotOf := make(map[string]int32)
 	var slotEnt []kg.EntityID // entity per slot, -1 when unresolved
@@ -219,9 +251,20 @@ func extractColumn(base *table.Table, col *table.Column, g *kg.Graph, linker *ne
 		}
 		rowSlot[i] = s
 	}
-	res.LinkStats[col.Name] = linker.Stats()
+	st := linker.Stats()
+	res.LinkStats[col.Name] = st
+	st.Record(opts.Trace)
+	nsp.SetInt("distinct-values", int64(len(slotOf)))
+	nsp.SetInt("linked", int64(st.Linked))
+	nsp.SetInt("unlinked", int64(st.Unlinked))
+	nsp.SetInt("ambiguous", int64(st.Ambiguous))
+	nsp.End()
 
 	// Flatten properties per slot into attribute builders.
+	var wsp *obs.Span
+	if opts.Trace != nil {
+		wsp = opts.Trace.Start("kg-walk " + col.Name)
+	}
 	b := newBuilderSet(len(slotEnt))
 	for s, ent := range slotEnt {
 		if ent < 0 {
@@ -229,7 +272,11 @@ func extractColumn(base *table.Table, col *table.Column, g *kg.Graph, linker *ne
 		}
 		walkEntity(g, ent, "", 1, opts, b, s)
 	}
-	return b.build(col.Name, rowSlot), nil
+	attrs := b.build(col.Name, rowSlot)
+	wsp.SetInt("hops", int64(opts.Hops))
+	wsp.SetInt("attributes", int64(len(attrs)))
+	wsp.End()
+	return attrs, nil
 }
 
 // walkEntity flattens the properties of one entity into the builder set,

@@ -14,6 +14,7 @@ import (
 
 	"nexus/internal/bins"
 	"nexus/internal/infotheory"
+	"nexus/internal/obs"
 	"nexus/internal/stats"
 	"nexus/internal/table"
 )
@@ -55,6 +56,13 @@ func Indicator(attr *bins.Encoded) *bins.Encoded {
 // exposure, and other fully-observed input attributes) to their encodings.
 // Dependence of R_E on any of them flags selection bias.
 func DetectBias(attr *bins.Encoded, observed map[string]*bins.Encoded, threshold float64) Report {
+	return DetectBiasCounted(attr, observed, threshold, nil)
+}
+
+// DetectBiasCounted is DetectBias reporting each recoverability test into a
+// counter set (package obs; nil = no-op): one CITests increment per observed
+// variable actually tested.
+func DetectBiasCounted(attr *bins.Encoded, observed map[string]*bins.Encoded, threshold float64, m *obs.Counters) Report {
 	if threshold <= 0 {
 		threshold = DefaultThreshold
 	}
@@ -68,6 +76,7 @@ func DetectBias(attr *bins.Encoded, observed map[string]*bins.Encoded, threshold
 		return rep // nothing to test: fully observed or fully missing
 	}
 	for name, v := range observed {
+		m.Add(obs.CITests, 1)
 		if !infotheory.CondIndependent(r, v, nil, nil, threshold) {
 			rep.Biased = true
 			rep.DependsOn = append(rep.DependsOn, name)

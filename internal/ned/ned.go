@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"nexus/internal/kg"
+	"nexus/internal/obs"
 )
 
 // Outcome classifies a link attempt.
@@ -40,6 +41,17 @@ func (s Stats) SuccessRate() float64 {
 		return 1
 	}
 	return float64(s.Linked) / float64(t)
+}
+
+// Record adds the link outcomes to a trace's counter set (package obs).
+// No-op on a nil trace.
+func (s Stats) Record(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Add(obs.EntitiesLinked, int64(s.Linked))
+	tr.Add(obs.EntitiesUnresolved, int64(s.Unlinked))
+	tr.Add(obs.EntitiesAmbiguous, int64(s.Ambiguous))
 }
 
 // Linker resolves strings to graph entities.

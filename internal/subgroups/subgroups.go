@@ -13,6 +13,7 @@ import (
 
 	"nexus/internal/bins"
 	"nexus/internal/infotheory"
+	"nexus/internal/obs"
 )
 
 // RefinementAttr is a categorical attribute usable as a refinement
@@ -85,6 +86,8 @@ type Options struct {
 	MaxExplored int
 	// Weights are optional IPW weights over the analysis view.
 	Weights []float64
+	// Trace, when non-nil, receives a lattice-search span and node counters.
+	Trace *obs.Trace
 }
 
 // Stats reports search effort.
@@ -115,6 +118,9 @@ func TopUnexplained(t, o *bins.Encoded, explanation []*bins.Encoded, attrs []Ref
 			return nil, Stats{}, fmt.Errorf("subgroups: attribute %q has %d rows, view has %d", a.Name, a.Enc.Len(), n)
 		}
 	}
+
+	sp := opts.Trace.Start("subgroup-search")
+	defer sp.End()
 
 	var stats Stats
 	h := &groupHeap{}
@@ -158,6 +164,11 @@ func TopUnexplained(t, o *bins.Encoded, explanation []*bins.Encoded, attrs []Ref
 	for i := range results {
 		results[i].Rows = nil
 	}
+	opts.Trace.Add(obs.SubgroupNodesExplored, int64(stats.Explored))
+	opts.Trace.Add(obs.SubgroupNodesPushed, int64(stats.Pushed))
+	sp.SetInt("explored", int64(stats.Explored))
+	sp.SetInt("pushed", int64(stats.Pushed))
+	sp.SetInt("groups-found", int64(len(results)))
 	return results, stats, nil
 }
 

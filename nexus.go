@@ -20,6 +20,7 @@ import (
 	"nexus/internal/core"
 	"nexus/internal/kg"
 	"nexus/internal/ned"
+	"nexus/internal/obs"
 	"nexus/internal/sqlx"
 	"nexus/internal/table"
 )
@@ -48,6 +49,13 @@ type Options struct {
 	// MaxRefinementCard bounds the cardinality of attributes used as
 	// subgroup refinement dimensions (default 20).
 	MaxRefinementCard int
+	// Trace, when non-nil, receives hierarchical spans and counters from
+	// every phase of the pipeline — parse/execute, NED, KG extraction,
+	// selection-bias detection + IPW, pruning, MCIMR iterations,
+	// responsibility ranking and subgroup search (package obs). A nil
+	// trace disables observability at near-zero cost: spans and counters
+	// on a nil trace are allocation-free no-ops.
+	Trace *obs.Trace
 }
 
 func (o *Options) applyDefaults() {
