@@ -1,6 +1,7 @@
 package nexus
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -84,21 +85,38 @@ func adaptiveBins(rows int) int {
 }
 
 // Prepare parses and executes sql, then assembles the explanation problem.
+// It is PrepareCtx with a background context.
 func (s *Session) Prepare(sql string) (*Analysis, error) {
+	return s.PrepareCtx(context.Background(), sql)
+}
+
+// PrepareCtx parses and executes sql, then assembles the explanation
+// problem, honouring ctx through every phase (query execution, encoding,
+// KG extraction). On cancellation the returned error wraps ctx.Err().
+func (s *Session) PrepareCtx(ctx context.Context, sql string) (*Analysis, error) {
 	psp := s.opts.Trace.Start("parse")
 	q, err := sqlx.Parse(sql)
 	psp.End()
 	if err != nil {
 		return nil, err
 	}
-	return s.PrepareQuery(q)
+	return s.PrepareQueryCtx(ctx, q)
 }
 
 // PrepareQuery is Prepare for a pre-parsed query.
 func (s *Session) PrepareQuery(q *sqlx.Query) (*Analysis, error) {
+	return s.PrepareQueryCtx(context.Background(), q)
+}
+
+// PrepareQueryCtx is PrepareCtx for a pre-parsed query.
+func (s *Session) PrepareQueryCtx(ctx context.Context, q *sqlx.Query) (*Analysis, error) {
 	tr := s.opts.Trace
 	psp := tr.Start("prepare")
 	defer psp.End()
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("nexus: prepare: %w", err)
+	}
 
 	esp := tr.Start("execute-query")
 	res, err := sqlx.Execute(q, s.catalog)
@@ -160,19 +178,27 @@ func (s *Session) PrepareQuery(q *sqlx.Query) (*Analysis, error) {
 	isp.SetInt("candidates", int64(len(inputCands)))
 	isp.End()
 
-	// KG candidates over the view.
+	// KG candidates over the view. With an ExtractCache the whole NED +
+	// graph-walk pass runs once per dataset context (singleflight); repeat
+	// and concurrent requests share the cached Extraction, including its
+	// per-attribute encoding caches.
 	if s.graph != nil {
 		links := s.linkColumnsIn(q.Table, res.View)
 		if len(links) > 0 {
 			ksp := tr.Start("kg-extract")
-			ex, err := extract.Extract(res.View, links, s.graph, s.linker, extract.Options{
-				Hops:      s.opts.Hops,
-				OneToMany: s.opts.OneToMany,
-				Trace:     tr,
+			ex, hit, err := s.opts.ExtractCache.get(ctx, extractionKey(q, links, s.opts.Hops), func() (*extract.Extraction, error) {
+				return extract.ExtractCtx(ctx, res.View, links, s.graph, s.linker, extract.Options{
+					Hops:      s.opts.Hops,
+					OneToMany: s.opts.OneToMany,
+					Trace:     tr,
+				})
 			})
 			if err != nil {
 				ksp.End()
 				return nil, err
+			}
+			if hit {
+				a.metrics.Add(obs.ExtractCacheHits, 1)
 			}
 			a.Extraction = ex
 			for lc, st := range ex.LinkStats {
@@ -439,13 +465,21 @@ func (a *Analysis) KGCandidate(attr *extract.Attribute) *core.Candidate {
 // Candidate returns the named candidate, or nil.
 func (a *Analysis) Candidate(name string) *core.Candidate { return a.byName[name] }
 
-// Explain runs the full MESA pipeline on the prepared analysis.
+// Explain runs the full MESA pipeline on the prepared analysis. It is
+// ExplainCtx with a background context.
 func (a *Analysis) Explain() (*Report, error) {
+	return a.ExplainCtx(context.Background())
+}
+
+// ExplainCtx runs the full MESA pipeline on the prepared analysis,
+// honouring ctx through pruning, MCIMR and the permutation tests. On
+// cancellation the returned error wraps ctx.Err().
+func (a *Analysis) ExplainCtx(ctx context.Context) (*Report, error) {
 	opts := a.session.opts.Core
 	if opts.Trace == nil {
 		opts.Trace = a.session.opts.Trace
 	}
-	ex, err := core.Explain(a.T, a.O, a.Candidates, opts)
+	ex, err := core.ExplainCtx(ctx, a.T, a.O, a.Candidates, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -459,12 +493,23 @@ type Report struct {
 }
 
 // Explain is the one-call entry point: parse, execute, prepare, explain.
+// It is ExplainCtx with a background context.
 func (s *Session) Explain(sql string) (*Report, error) {
-	a, err := s.Prepare(sql)
+	return s.ExplainCtx(context.Background(), sql)
+}
+
+// ExplainCtx is the one-call entry point honouring ctx: parse, execute,
+// prepare (with cached KG extraction when Options.ExtractCache is set) and
+// explain, with cooperative cancellation checkpoints throughout. This is
+// what a server calls with a per-request context so deadlines, client
+// disconnects and graceful shutdown actually stop work; on cancellation the
+// returned error wraps ctx.Err().
+func (s *Session) ExplainCtx(ctx context.Context, sql string) (*Report, error) {
+	a, err := s.PrepareCtx(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
-	return a.Explain()
+	return a.ExplainCtx(ctx)
 }
 
 // Summary renders a human-readable report.
@@ -509,8 +554,16 @@ func safeRatio(a, b float64) float64 {
 
 // Subgroups finds the top-k largest context refinements where the report's
 // explanation fails (Algorithm 2). tau ≤ 0 selects the paper-style default
-// of max(0.2, 2× the explanation score).
+// of max(0.2, 2× the explanation score). It is SubgroupsCtx with a
+// background context.
 func (r *Report) Subgroups(k int, tau float64) ([]subgroups.Group, subgroups.Stats, error) {
+	return r.SubgroupsCtx(context.Background(), k, tau)
+}
+
+// SubgroupsCtx is Subgroups honouring ctx: the lattice search checks for
+// cancellation before scoring each node. On cancellation the returned error
+// wraps ctx.Err().
+func (r *Report) SubgroupsCtx(ctx context.Context, k int, tau float64) ([]subgroups.Group, subgroups.Stats, error) {
 	if tau <= 0 {
 		tau = 2 * r.Explanation.Score
 		if tau < 0.2 {
@@ -525,7 +578,7 @@ func (r *Report) Subgroups(k int, tau float64) ([]subgroups.Group, subgroups.Sta
 	if err != nil {
 		return nil, subgroups.Stats{}, err
 	}
-	return subgroups.TopUnexplained(r.Analysis.T, r.Analysis.O, encs, attrs, subgroups.Options{
+	return subgroups.TopUnexplainedCtx(ctx, r.Analysis.T, r.Analysis.O, encs, attrs, subgroups.Options{
 		K: k, Tau: tau,
 		Trace: r.Analysis.session.opts.Trace,
 	})
@@ -537,8 +590,14 @@ func (r *Report) Subgroups(k int, tau float64) ([]subgroups.Group, subgroups.Sta
 // explanation for that group. Refinements over input-table columns become
 // WHERE conjuncts on the original query; refinements over extracted
 // attributes are not expressible in SQL over the input table and return an
-// error.
+// error. It is ExplainSubgroupCtx with a background context.
 func (r *Report) ExplainSubgroup(g subgroups.Group) (*Report, error) {
+	return r.ExplainSubgroupCtx(context.Background(), g)
+}
+
+// ExplainSubgroupCtx is ExplainSubgroup honouring ctx through the refined
+// query's prepare and explain phases.
+func (r *Report) ExplainSubgroupCtx(ctx context.Context, g subgroups.Group) (*Report, error) {
 	q := *r.Analysis.Query
 	q.Where = append([]sqlx.Condition(nil), q.Where...)
 	for _, cond := range g.Conds {
@@ -547,11 +606,11 @@ func (r *Report) ExplainSubgroup(g subgroups.Group) (*Report, error) {
 		}
 		q.Where = append(q.Where, sqlx.Condition{Attr: cond.Attr, Op: sqlx.OpEq, IsStr: true, Str: cond.Value})
 	}
-	a, err := r.Analysis.session.PrepareQuery(&q)
+	a, err := r.Analysis.session.PrepareQueryCtx(ctx, &q)
 	if err != nil {
 		return nil, err
 	}
-	return a.Explain()
+	return a.ExplainCtx(ctx)
 }
 
 // explanationEncodings re-derives the encodings of the selected attributes.

@@ -1,0 +1,137 @@
+package nexus
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"nexus/internal/extract"
+	"nexus/internal/obs"
+	"nexus/internal/sqlx"
+)
+
+// ExtractionCache memoizes KG extractions per dataset context, with
+// singleflight semantics: when N requests over the same (table, WHERE
+// clause, link columns, hops) key arrive concurrently, exactly one performs
+// the NED + graph-walk pass and the other N-1 wait for its result. This is
+// the workload shape of an interactive explanation service — analysts issue
+// many queries over the same dataset, and extraction is independent of the
+// GROUP BY / aggregate part of the query — so a warm cache removes the most
+// expensive phase of Prepare entirely.
+//
+// Correctness rests on two invariants the serving path maintains:
+//
+//   - registered tables and the entity linker are immutable while requests
+//     are in flight (RegisterTable / AddAlias happen at startup);
+//   - the cached *extract.Extraction is shared read-only between analyses
+//     (its per-attribute encoding caches are internally synchronized).
+//
+// The zero value is not usable; construct with NewExtractionCache. All
+// methods are safe for concurrent use. A nil *ExtractionCache disables
+// caching (every Prepare extracts).
+type ExtractionCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	// counters, when non-nil, receives ExtractCacheHits/ExtractCacheMisses.
+	counters *obs.Counters
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when ex/err are final
+	ex   *extract.Extraction
+	err  error
+}
+
+// NewExtractionCache returns an empty cache. counters may be nil; when set
+// (e.g. to a server-wide obs.Counters published over /debug/vars) every
+// lookup increments obs.ExtractCacheHits or obs.ExtractCacheMisses.
+func NewExtractionCache(counters *obs.Counters) *ExtractionCache {
+	return &ExtractionCache{entries: map[string]*cacheEntry{}, counters: counters}
+}
+
+// Hits returns the number of cache hits recorded so far (0 when the cache
+// was built without counters or is nil).
+func (c *ExtractionCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.counters.Get(obs.ExtractCacheHits)
+}
+
+// get returns the extraction for key, running fn at most once per key
+// (unless fn fails, in which case the entry is evicted so a later request
+// retries). The second return reports whether the lookup was a hit — either
+// a completed entry or an in-flight extraction started by another caller.
+//
+// Waiters honour their own ctx: a caller whose context ends while the
+// extraction is still in flight unblocks with ctx.Err() without cancelling
+// the extraction (other waiters may still want it).
+func (c *ExtractionCache) get(ctx context.Context, key string, fn func() (*extract.Extraction, error)) (*extract.Extraction, bool, error) {
+	if c == nil {
+		ex, err := fn()
+		return ex, false, err
+	}
+	c.mu.Lock()
+	e, hit := c.entries[key]
+	if !hit {
+		e = &cacheEntry{done: make(chan struct{})}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	if hit {
+		c.counters.Add(obs.ExtractCacheHits, 1)
+		select {
+		case <-e.done:
+			return e.ex, true, e.err
+		case <-ctx.Done():
+			return nil, true, fmt.Errorf("nexus: waiting for in-flight extraction: %w", ctx.Err())
+		}
+	}
+
+	c.counters.Add(obs.ExtractCacheMisses, 1)
+	e.ex, e.err = fn()
+	if e.err != nil {
+		// Do not cache failures (the canonical one is cancellation of the
+		// extracting request); evict so the next request retries.
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.ex, false, e.err
+}
+
+// extractionKey derives the cache key for a query's extraction: the table,
+// the canonicalized WHERE clause (sorted conjuncts — extraction depends only
+// on which rows survive the context filter, not on their order), the link
+// columns and the extraction depth. GROUP BY and the aggregate do not
+// affect the analysis view's rows, so queries differing only there share
+// one extraction.
+func extractionKey(q *sqlx.Query, links []string, hops int) string {
+	conds := make([]string, len(q.Where))
+	for i, w := range q.Where {
+		conds[i] = w.String()
+	}
+	sort.Strings(conds)
+	var b strings.Builder
+	b.WriteString(q.Table)
+	if q.Join != nil {
+		b.WriteString("|join=")
+		b.WriteString(q.Join.Table)
+		b.WriteByte(':')
+		b.WriteString(q.Join.LeftKey)
+		b.WriteByte('=')
+		b.WriteString(q.Join.RightKey)
+	}
+	b.WriteString("|where=")
+	b.WriteString(strings.Join(conds, " AND "))
+	b.WriteString("|links=")
+	b.WriteString(strings.Join(links, ","))
+	b.WriteString("|hops=")
+	b.WriteString(strconv.Itoa(hops))
+	return b.String()
+}

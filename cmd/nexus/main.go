@@ -12,12 +12,16 @@
 // With -csv the knowledge graph is still the synthetic world, so only link
 // values matching its entities (countries, US cities/states, airlines,
 // celebrities) resolve.
+//
+// For the long-running HTTP service over the same pipeline, see cmd/nexusd.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"nexus"
@@ -28,25 +32,42 @@ import (
 )
 
 func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == flag.ErrHelp {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nexus:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind an error return, so every failure path —
+// flag misuse, unreadable CSV, unknown dataset, bad query, trace-sink I/O —
+// reaches main and exits non-zero. Tests drive it directly.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nexus", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataset   = flag.String("dataset", "", "synthetic dataset: so|covid|flights|forbes")
-		rows      = flag.Int("rows", 0, "row count for the synthetic dataset (0 = paper size; flights defaults to 200000)")
-		csvPath   = flag.String("csv", "", "load this CSV instead of a synthetic dataset")
-		tableName = flag.String("table", "data", "table name for -csv")
-		links     = flag.String("links", "", "comma-separated link columns for -csv")
-		sql       = flag.String("sql", "", "aggregate query to explain (required)")
-		seed      = flag.Uint64("seed", 11, "world seed")
-		hops      = flag.Int("hops", 1, "KG extraction depth")
-		subgroups = flag.Int("subgroups", 0, "also report the top-k unexplained subgroups")
-		noIPW     = flag.Bool("no-ipw", false, "disable selection-bias detection and IPW")
-		trace     = flag.Bool("trace", false, "print the phase trace tree (spans + counters) to stderr")
-		traceJSON = flag.String("trace-json", "", "stream trace events as JSON lines to this file")
+		dataset   = fs.String("dataset", "", "synthetic dataset: so|covid|flights|forbes")
+		rows      = fs.Int("rows", 0, "row count for the synthetic dataset (0 = paper size; flights defaults to 200000)")
+		csvPath   = fs.String("csv", "", "load this CSV instead of a synthetic dataset")
+		tableName = fs.String("table", "data", "table name for -csv")
+		links     = fs.String("links", "", "comma-separated link columns for -csv")
+		sql       = fs.String("sql", "", "aggregate query to explain (required)")
+		seed      = fs.Uint64("seed", 11, "world seed")
+		hops      = fs.Int("hops", 1, "KG extraction depth")
+		subgroups = fs.Int("subgroups", 0, "also report the top-k unexplained subgroups")
+		noIPW     = fs.Bool("no-ipw", false, "disable selection-bias detection and IPW")
+		trace     = fs.Bool("trace", false, "print the phase trace tree (spans + counters) to stderr")
+		traceJSON = fs.String("trace-json", "", "stream trace events as JSON lines to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *sql == "" {
-		fmt.Fprintln(os.Stderr, "nexus: -sql is required")
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("-sql is required")
 	}
 
 	// Every phase below runs inside the trace, so the reported total is the
@@ -56,14 +77,14 @@ func main() {
 	if *traceJSON != "" {
 		f, err := os.Create(*traceJSON)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		jsonSink = obs.NewJSONLSink(f)
 		tr.AddSink(jsonSink)
 	}
 
-	fmt.Println("generating knowledge graph...")
+	fmt.Fprintln(stdout, "generating knowledge graph...")
 	wsp := tr.Start("world-gen")
 	world := kg.NewWorld(kg.WorldConfig{Seed: *seed})
 	wsp.End()
@@ -74,87 +95,74 @@ func main() {
 	case *csvPath != "":
 		f, err := os.Open(*csvPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tbl, err := table.ReadCSV(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("reading %s: %w", *csvPath, err)
 		}
 		var linkCols []string
 		if *links != "" {
 			linkCols = splitComma(*links)
 		}
+		for _, lc := range linkCols {
+			if !tbl.HasColumn(lc) {
+				return fmt.Errorf("link column %q not in %s (columns: %s)",
+					lc, *csvPath, strings.Join(tbl.ColumnNames(), ", "))
+			}
+		}
 		sess.RegisterTable(*tableName, tbl, linkCols...)
-		fmt.Printf("loaded %s: %d rows × %d columns\n", *csvPath, tbl.NumRows(), tbl.NumCols())
+		fmt.Fprintf(stdout, "loaded %s: %d rows × %d columns\n", *csvPath, tbl.NumRows(), tbl.NumCols())
 	case *dataset != "":
-		ds := makeDataset(world, *dataset, *rows, *seed)
+		ds, err := workload.ByName(world, *dataset, *rows, *seed)
+		if err != nil {
+			return err
+		}
 		sess.RegisterTable(ds.Name, ds.Table, ds.LinkColumns...)
 		sess.ExcludeCandidates(ds.Name, ds.ExcludeCandidates...)
-		fmt.Printf("generated %s: %d rows, link columns %v\n", ds.Name, ds.Table.NumRows(), ds.LinkColumns)
+		fmt.Fprintf(stdout, "generated %s: %d rows, link columns %v\n", ds.Name, ds.Table.NumRows(), ds.LinkColumns)
 	default:
-		fmt.Fprintln(os.Stderr, "nexus: provide -dataset or -csv")
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("provide -dataset or -csv")
 	}
 	lsp.End()
 
 	rep, err := sess.Explain(*sql)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println()
-	fmt.Print(rep.Summary())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, rep.Summary())
 
 	if *subgroups > 0 {
 		groups, stats, err := rep.Subgroups(*subgroups, 0)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("\ntop-%d unexplained subgroups (explored %d nodes):\n", *subgroups, stats.Explored)
+		fmt.Fprintf(stdout, "\ntop-%d unexplained subgroups (explored %d nodes):\n", *subgroups, stats.Explored)
 		if len(groups) == 0 {
-			fmt.Println("  none — the explanation holds everywhere at the chosen threshold")
+			fmt.Fprintln(stdout, "  none — the explanation holds everywhere at the chosen threshold")
 		}
 		for i, g := range groups {
-			fmt.Printf("  %d. size=%-8d score=%.3f  %s\n", i+1, g.Size, g.Score, g.String())
+			fmt.Fprintf(stdout, "  %d. size=%-8d score=%.3f  %s\n", i+1, g.Size, g.Score, g.String())
 		}
 	}
 
 	snap := tr.Close()
 	if *trace {
-		fmt.Fprintln(os.Stderr)
-		if err := snap.WriteTree(os.Stderr); err != nil {
-			fatal(err)
+		fmt.Fprintln(stderr)
+		if err := snap.WriteTree(stderr); err != nil {
+			return err
 		}
 	}
 	if jsonSink != nil {
 		if err := jsonSink.Err(); err != nil {
-			fatal(err)
+			return fmt.Errorf("writing %s: %w", *traceJSON, err)
 		}
 	}
-	fmt.Printf("\ntotal %v\n", time.Duration(snap.TotalNS).Round(time.Millisecond))
-}
-
-func makeDataset(world *kg.World, name string, rows int, seed uint64) *workload.Dataset {
-	cfg := workload.Config{Rows: rows, Seed: seed + 1}
-	switch name {
-	case "so":
-		return workload.StackOverflow(world, cfg)
-	case "covid":
-		cfg.Seed = seed + 2
-		return workload.Covid(world, cfg)
-	case "flights":
-		if cfg.Rows == 0 {
-			cfg.Rows = 200000
-		}
-		cfg.Seed = seed + 3
-		return workload.Flights(world, cfg)
-	case "forbes":
-		cfg.Seed = seed + 4
-		return workload.Forbes(world, cfg)
-	default:
-		fatal(fmt.Errorf("unknown dataset %q (want so|covid|flights|forbes)", name))
-		return nil
-	}
+	fmt.Fprintf(stdout, "\ntotal %v\n", time.Duration(snap.TotalNS).Round(time.Millisecond))
+	return nil
 }
 
 func splitComma(s string) []string {
@@ -169,9 +177,4 @@ func splitComma(s string) []string {
 		}
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nexus:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regression: every failure path must surface as a non-nil error from run
+// (→ non-zero exit), not a success. Earlier versions exited 0 on some
+// dataset-load errors.
+func TestRunErrorPaths(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("a,b\n1,2,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"no sql", []string{"-dataset", "so"}, "-sql is required"},
+		{"no dataset or csv", []string{"-sql", "SELECT x, avg(y) FROM t GROUP BY x"}, "provide -dataset or -csv"},
+		{"unknown dataset", []string{"-dataset", "nope", "-sql", "SELECT x, avg(y) FROM t GROUP BY x"}, "unknown dataset"},
+		{"missing csv", []string{"-csv", "/does/not/exist.csv", "-sql", "SELECT x, avg(y) FROM t GROUP BY x"}, "no such file"},
+		{"malformed csv", []string{"-csv", bad, "-sql", "SELECT x, avg(y) FROM t GROUP BY x"}, "bad.csv"},
+		{"unknown flag", []string{"-nonsense"}, "not defined"},
+		{"bad query", []string{"-dataset", "forbes", "-rows", "200", "-sql", "this is not sql"}, ""},
+		{"unknown link column", []string{"-csv", "testdata/tiny.csv", "-table", "t", "-links", "Nope",
+			"-sql", "SELECT City, avg(V) FROM t GROUP BY City"}, `link column "Nope"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw strings.Builder
+			err := run(tc.args, &out, &errw)
+			if err == nil {
+				t.Fatalf("run(%v) = nil error; stdout:\n%s", tc.args, out.String())
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q does not contain %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunSuccessTinyDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explains a small dataset end to end")
+	}
+	var out, errw strings.Builder
+	err := run([]string{
+		"-dataset", "forbes", "-rows", "300",
+		"-sql", "SELECT Category, avg(Pay) FROM Forbes GROUP BY Category",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "query:") {
+		t.Fatalf("summary missing from output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,138 @@
+// Command nexusd serves confounding-bias explanations over HTTP. It loads
+// one dataset at startup (a synthetic paper dataset or a CSV), builds a
+// nexus.Session with a shared KG-extraction cache, and exposes:
+//
+//	POST /v1/explain   — explain an aggregate query (sync, or async with a job id)
+//	GET  /v1/jobs/{id} — async job status/result
+//	GET  /healthz      — liveness
+//	GET  /debug/vars   — expvar JSON with the server's counters under "nexusd"
+//
+// Usage:
+//
+//	nexusd -dataset so -addr :8080
+//	nexusd -csv data.csv -table mydata -links Country -addr :8080
+//
+// The process drains gracefully on SIGTERM/SIGINT: in-flight explanations
+// finish (bounded by -drain-timeout) before the listener closes. See
+// docs/API.md for the wire protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nexus"
+	"nexus/internal/kg"
+	"nexus/internal/obs"
+	"nexus/internal/server"
+	"nexus/internal/table"
+	"nexus/internal/workload"
+)
+
+func main() {
+	err := run(os.Args[1:])
+	if err == flag.ErrHelp {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nexusd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nexusd", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		dataset      = fs.String("dataset", "", "synthetic dataset: so|covid|flights|forbes")
+		rows         = fs.Int("rows", 0, "row count for the synthetic dataset (0 = paper size; flights defaults to 200000)")
+		csvPath      = fs.String("csv", "", "serve this CSV instead of a synthetic dataset")
+		tableName    = fs.String("table", "data", "table name for -csv")
+		links        = fs.String("links", "", "comma-separated link columns for -csv")
+		seed         = fs.Uint64("seed", 11, "world seed")
+		hops         = fs.Int("hops", 1, "KG extraction depth")
+		noIPW        = fs.Bool("no-ipw", false, "disable selection-bias detection and IPW")
+		workers      = fs.Int("workers", 0, "concurrent explanations (0 = GOMAXPROCS, capped at 8)")
+		queue        = fs.Int("queue", 0, "queued jobs before 429 (0 = 4 × workers)")
+		timeout      = fs.Duration("timeout", 60*time.Second, "default per-request timeout")
+		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	metrics := obs.NewCounters()
+	log.Printf("generating knowledge graph (seed %d)...", *seed)
+	world := kg.NewWorld(kg.WorldConfig{Seed: *seed})
+	sess := nexus.NewSession(world.Graph, &nexus.Options{
+		Hops:       *hops,
+		DisableIPW: *noIPW,
+		// One cache per daemon: concurrent requests over the same dataset
+		// context share a single KG extraction. No Trace — the session
+		// trace is single-request machinery; servers use counters only.
+		ExtractCache: nexus.NewExtractionCache(metrics),
+	})
+
+	switch {
+	case *csvPath != "":
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			return err
+		}
+		tbl, err := table.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", *csvPath, err)
+		}
+		var linkCols []string
+		if *links != "" {
+			linkCols = strings.Split(*links, ",")
+		}
+		for _, lc := range linkCols {
+			if !tbl.HasColumn(lc) {
+				return fmt.Errorf("link column %q not in %s (columns: %s)",
+					lc, *csvPath, strings.Join(tbl.ColumnNames(), ", "))
+			}
+		}
+		sess.RegisterTable(*tableName, tbl, linkCols...)
+		log.Printf("serving %s as %q: %d rows × %d columns", *csvPath, *tableName, tbl.NumRows(), tbl.NumCols())
+	case *dataset != "":
+		ds, err := workload.ByName(world, *dataset, *rows, *seed)
+		if err != nil {
+			return err
+		}
+		sess.RegisterTable(ds.Name, ds.Table, ds.LinkColumns...)
+		sess.ExcludeCandidates(ds.Name, ds.ExcludeCandidates...)
+		log.Printf("serving %s: %d rows, link columns %v", ds.Name, ds.Table.NumRows(), ds.LinkColumns)
+	default:
+		fs.Usage()
+		return fmt.Errorf("provide -dataset or -csv")
+	}
+
+	srv := server.New(server.Config{
+		Session:        sess,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Metrics:        metrics,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr, *drainTimeout); err != nil {
+		return err
+	}
+	log.Printf("drained, bye")
+	return nil
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"nexus/internal/bins"
 	"nexus/internal/infotheory"
 	"nexus/internal/obs"
@@ -18,7 +20,7 @@ import (
 // (Lemma 4.2) and by the permutation variant of the low-relevance prune:
 // entity-level attributes correlate with the outcome by chance at entity
 // granularity, which row-level χ² corrections cannot account for.
-func permDependent(tr *obs.Trace, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, given []infotheory.Var,
+func permDependent(ctx context.Context, tr *obs.Trace, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, given []infotheory.Var,
 	b, allow, parallelism int, seed uint64) bool {
 
 	tr.Add(obs.CITests, 1)
@@ -29,7 +31,7 @@ func permDependent(tr *obs.Trace, o *bins.Encoded, cand *Candidate, enc *bins.En
 	tr.Add(obs.PermutationsRun, int64(b))
 	exceed := make([]bool, b)
 	base := seed*0x9e3779b9 + uint64(len(given))*1000003 + hashName(cand.Name)
-	parallelFor(b, parallelism, func(i int) {
+	parallelForCtx(ctx, b, parallelism, func(i int) {
 		pe, err := cand.Permute(stats.NewRNG(base + uint64(i)*0x45d9f3b))
 		if err != nil {
 			exceed[i] = true // conservative: failure counts as a null exceedance

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestPermDependentDetectsEntityLevelSignal(t *testing.T) {
 		oVals[i] = 2*entVals[i%nEnt] + 0.3*rng.Norm()
 	}
 	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
-	if !permDependent(nil, o, cand, enc, nil, 19, 0, 1, 7) {
+	if !permDependent(context.Background(), nil, o, cand, enc, nil, 19, 0, 1, 7) {
 		t.Fatal("real entity-level dependence not detected")
 	}
 }
@@ -88,7 +89,7 @@ func TestPermDependentRejectsEntityChance(t *testing.T) {
 			entVals[i] = rng.Norm() // junk: independent of O's entity means
 		}
 		cand, enc := entityCandidate(t, fmt.Sprintf("junk%d", tr), entVals, rowsPer)
-		if !permDependent(nil, o, cand, enc, nil, 19, 0, 1, uint64(tr)) {
+		if !permDependent(context.Background(), nil, o, cand, enc, nil, 19, 0, 1, uint64(tr)) {
 			rejected++
 		}
 	}
@@ -107,7 +108,7 @@ func TestPermDependentZeroObserved(t *testing.T) {
 		oVals[i] = rng.Norm()
 	}
 	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
-	if permDependent(nil, o, cand, enc, nil, 9, 0, 1, 1) {
+	if permDependent(context.Background(), nil, o, cand, enc, nil, 9, 0, 1, 1) {
 		t.Fatal("constant candidate reported dependent")
 	}
 }
@@ -124,8 +125,8 @@ func TestPermDependentDeterministic(t *testing.T) {
 		oVals[i] = 0.5*entVals[i%80] + rng.Norm()
 	}
 	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
-	a := permDependent(nil, o, cand, enc, nil, 19, 0, 1, 42)
-	b := permDependent(nil, o, cand, enc, nil, 19, 0, 1, 42)
+	a := permDependent(context.Background(), nil, o, cand, enc, nil, 19, 0, 1, 42)
+	b := permDependent(context.Background(), nil, o, cand, enc, nil, 19, 0, 1, 42)
 	if a != b {
 		t.Fatal("permDependent not deterministic for fixed seed")
 	}

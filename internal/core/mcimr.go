@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -151,8 +152,20 @@ func (e *Explanation) Names() []string {
 
 // Explain solves Correlation-Explanation for exposure t and outcome o over
 // the candidate attributes: prune (§4.2), select with MCIMR (Alg. 1), rank
-// by responsibility (Def. 2.5).
+// by responsibility (Def. 2.5). It is ExplainCtx with a background context
+// (the run cannot be cancelled).
 func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation, error) {
+	return ExplainCtx(context.Background(), t, o, cands, opts)
+}
+
+// ExplainCtx is Explain honouring ctx. Every phase — both pruning passes,
+// the MCIMR relevance/redundancy passes and permutation tests, the final
+// scoring — carries cooperative cancellation checkpoints, so a deadline or
+// an abandoned request stops the run promptly (typically within one
+// per-candidate unit of work). On cancellation the returned error wraps
+// ctx.Err(), so errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) distinguish the two server cases.
+func ExplainCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation, error) {
 	opts.applyDefaults()
 	start := time.Now()
 	tr := opts.Trace
@@ -166,7 +179,7 @@ func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation
 		var err error
 		var stats PruneStats
 		sp := tr.Start("offline-prune")
-		working, stats, err = OfflinePruneTraced(tr, working, opts.Prune)
+		working, stats, err = OfflinePruneCtx(ctx, tr, working, opts.Prune)
 		recordPruneSpan(tr, sp, "offline", stats)
 		if err != nil {
 			return nil, err
@@ -177,7 +190,7 @@ func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation
 		var err error
 		var stats PruneStats
 		sp := tr.Start("online-prune")
-		working, stats, err = OnlinePruneTraced(tr, t, o, working, opts.Prune)
+		working, stats, err = OnlinePruneCtx(ctx, tr, t, o, working, opts.Prune)
 		recordPruneSpan(tr, sp, "online", stats)
 		if err != nil {
 			return nil, err
@@ -185,7 +198,7 @@ func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation
 		res.OnlineStats = stats
 	}
 
-	sel, err := MCIMR(t, o, working, opts)
+	sel, err := MCIMRCtx(ctx, t, o, working, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +245,16 @@ type Selection struct {
 // MCIMR implements Algorithm 1: incremental selection by minimal conditional
 // mutual information and minimal redundancy, stopping at K attributes or
 // when the responsibility test (Lemma 4.2) fails for the next attribute.
+// It is MCIMRCtx with a background context.
 func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, error) {
+	return MCIMRCtx(context.Background(), t, o, cands, opts)
+}
+
+// MCIMRCtx is MCIMR honouring ctx: cancellation is checked before every
+// iteration, before every candidate consideration, and inside the parallel
+// relevance/redundancy passes and permutation tests. On cancellation the
+// returned error wraps ctx.Err().
+func MCIMRCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, error) {
 	opts.applyDefaults()
 	tr := opts.Trace
 	msp := tr.Start("mcimr")
@@ -256,7 +278,7 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 
 	// Pass 1: individual relevance of every candidate (parallel).
 	rsp := tr.Start("relevance-pass")
-	parallelFor(len(cands), opts.Parallelism, func(i int) {
+	parallelForCtx(ctx, len(cands), opts.Parallelism, func(i int) {
 		st := &state{cand: cands[i]}
 		states[i] = st
 		enc, err := cands[i].Enc()
@@ -270,6 +292,9 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 	tr.Add(obs.CandidatesScored, int64(len(cands)))
 	rsp.SetInt("candidates", int64(len(cands)))
 	rsp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: MCIMR relevance pass: %w", err)
+	}
 	for _, st := range states {
 		if st.err != nil {
 			return nil, fmt.Errorf("core: MCIMR relevance pass: %w", st.err)
@@ -278,6 +303,9 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 
 	skipsLeft := opts.SkipBudget
 	for iter := 0; iter < opts.K; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: MCIMR iteration %d: %w", iter+1, err)
+		}
 		// NextBestAtt: minimize relevance + redundancy/|E| (Eq. 5).
 		// Candidates that fail the responsibility test or the gain guard
 		// are skipped (bounded by SkipBudget) and the next-best is tried.
@@ -289,6 +317,10 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 		var enc *bins.Encoded
 		var w []float64
 		for st == nil {
+			if err := ctx.Err(); err != nil {
+				isp.End()
+				return nil, fmt.Errorf("core: MCIMR iteration %d: %w", iter+1, err)
+			}
 			bestIdx, bestScore := -1, math.Inf(1)
 			for i, cst := range states {
 				if cst.selected || cst.skipped {
@@ -322,7 +354,7 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 
 			// Responsibility test (Lemma 4.2): O ⊥ E | selected means the
 			// attribute's responsibility would be ≈ 0.
-			if !opts.DisableStopping && respIndependent(o, cst.cand, e, sel, cw, opts, iter) {
+			if !opts.DisableStopping && respIndependent(ctx, o, cst.cand, e, sel, cw, opts, iter) {
 				cst.skipped = true
 				skipsLeft--
 				tr.Add(obs.MCIMRSkips, 1)
@@ -343,7 +375,7 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 			newScore := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, sel.Encs...), e),
 				combineWeights(append(append([][]float64(nil), sel.Weights...), cw)...))
 			if !opts.DisableStopping && (newScore >= currentScore-opts.MinGain*baseScore ||
-				!gainSignificant(t, o, cst.cand, e, sel, opts, iter)) {
+				!gainSignificant(ctx, t, o, cst.cand, e, sel, opts, iter)) {
 				cst.skipped = true
 				skipsLeft--
 				tr.Add(obs.MCIMRSkips, 1)
@@ -385,7 +417,7 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 		// Accumulate redundancy with the newly selected attribute
 		// (parallel over remaining candidates).
 		red := tr.Start("redundancy-pass")
-		parallelFor(len(states), opts.Parallelism, func(i int) {
+		parallelForCtx(ctx, len(states), opts.Parallelism, func(i int) {
 			si := states[i]
 			if si.selected || si.skipped || si.err != nil {
 				return
@@ -400,6 +432,9 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 		})
 		red.End()
 		isp.End()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: MCIMR redundancy pass: %w", err)
+		}
 		for _, si := range states {
 			if si.err != nil {
 				return nil, fmt.Errorf("core: MCIMR redundancy pass: %w", si.err)
@@ -419,13 +454,13 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 // correlation lives at entity rather than row granularity. Candidates
 // without Permute fall back to the analytic debiased-CMI test with IPW
 // weights.
-func respIndependent(o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *Selection, w []float64, opts Options, iter int) bool {
+func respIndependent(ctx context.Context, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *Selection, w []float64, opts Options, iter int) bool {
 	if cand.Permute == nil {
 		opts.Trace.Add(obs.CITests, 1)
 		testW := combineWeights(append(append([][]float64(nil), sel.Weights...), w)...)
 		return infotheory.CondIndependent(o, enc, sel.Encs, testW, opts.RespThreshold)
 	}
-	return !permDependent(opts.Trace, o, cand, enc, sel.Encs, opts.PermTests, opts.PermAllow, opts.Parallelism,
+	return !permDependent(ctx, opts.Trace, o, cand, enc, sel.Encs, opts.PermTests, opts.PermAllow, opts.Parallelism,
 		opts.Seed+uint64(iter))
 }
 
@@ -436,7 +471,7 @@ func respIndependent(o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *S
 // and missingness, so it shatters the contingency strata exactly as much —
 // any additional reduction must be genuine dependence. Candidates without
 // Permute pass (MinGain already screened them).
-func gainSignificant(t, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *Selection, opts Options, iter int) bool {
+func gainSignificant(ctx context.Context, t, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *Selection, opts Options, iter int) bool {
 	if cand.Permute == nil {
 		return true
 	}
@@ -446,7 +481,7 @@ func gainSignificant(t, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel
 	b := opts.GainPermTests
 	exceed := make([]bool, b)
 	base := opts.Seed*0x2545f491 + uint64(iter)*7919 + hashName(cand.Name)
-	parallelFor(b, opts.Parallelism, func(i int) {
+	parallelForCtx(ctx, b, opts.Parallelism, func(i int) {
 		pe, err := cand.Permute(stats.NewRNG(base + uint64(i)*0x9e3779b9))
 		if err != nil {
 			exceed[i] = true

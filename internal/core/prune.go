@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -82,6 +84,13 @@ func OfflinePrune(cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneSta
 
 // OfflinePruneTraced is OfflinePrune reporting into a trace (nil = no-op).
 func OfflinePruneTraced(tr *obs.Trace, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
+	return OfflinePruneCtx(context.Background(), tr, cands, opts)
+}
+
+// OfflinePruneCtx is OfflinePruneTraced honouring ctx: the per-candidate
+// pass stops dispatching work once ctx is done and the call returns an error
+// wrapping ctx.Err().
+func OfflinePruneCtx(ctx context.Context, tr *obs.Trace, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
 	stats := newPruneStats(len(cands))
 	kept := make([]*Candidate, 0, len(cands))
 	type verdict struct {
@@ -90,7 +99,7 @@ func OfflinePruneTraced(tr *obs.Trace, cands []*Candidate, opts PruneOptions) ([
 		err    error
 	}
 	verdicts := make([]verdict, len(cands))
-	parallelFor(len(cands), 0, func(i int) {
+	parallelForCtx(ctx, len(cands), 0, func(i int) {
 		c := cands[i]
 		enc, err := c.Enc()
 		if err != nil {
@@ -115,6 +124,9 @@ func OfflinePruneTraced(tr *obs.Trace, cands []*Candidate, opts PruneOptions) ([
 			verdicts[i] = verdict{keep: true}
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("core: offline prune: %w", err)
+	}
 	for i, v := range verdicts {
 		if v.err != nil {
 			return nil, stats, v.err
@@ -141,6 +153,13 @@ func OnlinePrune(t, o *bins.Encoded, cands []*Candidate, opts PruneOptions) ([]*
 // into a trace (nil = no-op). Counters only: the per-candidate work runs on
 // parallel workers, where spans are not safe to open.
 func OnlinePruneTraced(tr *obs.Trace, t, o *bins.Encoded, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
+	return OnlinePruneCtx(context.Background(), tr, t, o, cands, opts)
+}
+
+// OnlinePruneCtx is OnlinePruneTraced honouring ctx: the per-candidate pass
+// (FD tests, relevance tests, permutation nulls) stops dispatching work once
+// ctx is done and the call returns an error wrapping ctx.Err().
+func OnlinePruneCtx(ctx context.Context, tr *obs.Trace, t, o *bins.Encoded, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
 	stats := newPruneStats(len(cands))
 	type verdict struct {
 		keep   bool
@@ -150,7 +169,7 @@ func OnlinePruneTraced(tr *obs.Trace, t, o *bins.Encoded, cands []*Candidate, op
 	verdicts := make([]verdict, len(cands))
 	ht := infotheory.Entropy(t, nil)
 	ho := infotheory.Entropy(o, nil)
-	parallelFor(len(cands), 0, func(i int) {
+	parallelForCtx(ctx, len(cands), 0, func(i int) {
 		c := cands[i]
 		enc, err := c.Enc()
 		if err != nil {
@@ -190,7 +209,7 @@ func OnlinePruneTraced(tr *obs.Trace, t, o *bins.Encoded, cands []*Candidate, op
 				if c.Permute == nil || enc.Len() > permBudget(opts) {
 					dependent = true // cannot test affordably; keep
 				} else {
-					dependent = permDependent(tr, o, c, enc, nil, b, 0, 1, 0x5eed+uint64(i))
+					dependent = permDependent(ctx, tr, o, c, enc, nil, b, 0, 1, 0x5eed+uint64(i))
 				}
 			}
 			if !dependent {
@@ -200,6 +219,9 @@ func OnlinePruneTraced(tr *obs.Trace, t, o *bins.Encoded, cands []*Candidate, op
 		}
 		verdicts[i] = verdict{keep: true}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("core: online prune: %w", err)
+	}
 	kept := make([]*Candidate, 0, len(cands))
 	for i, v := range verdicts {
 		if v.err != nil {
@@ -239,6 +261,16 @@ func determines(e, x *bins.Encoded, hx float64, threshold float64) bool {
 // parallelFor runs fn(i) for i in [0, n) on up to workers goroutines
 // (GOMAXPROCS when workers ≤ 0).
 func parallelFor(n, workers int, fn func(i int)) {
+	parallelForCtx(context.Background(), n, workers, fn)
+}
+
+// parallelForCtx is parallelFor with cooperative cancellation: once ctx is
+// done no further indices are dispatched (in-flight fn calls run to
+// completion — they are bounded per-item units of work). Callers must treat
+// the outputs as incomplete whenever ctx.Err() != nil on return; the
+// function itself returns nothing so partially filled result slices are
+// never observed as complete.
+func parallelForCtx(ctx context.Context, n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -247,6 +279,9 @@ func parallelFor(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if i%cancelStride == 0 && ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -262,9 +297,19 @@ func parallelFor(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		ch <- i
+		select {
+		case ch <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(ch)
 	wg.Wait()
 }
+
+// cancelStride is how many sequential iterations run between context checks
+// in the single-worker fast path of parallelForCtx.
+const cancelStride = 16

@@ -11,6 +11,7 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -182,7 +183,19 @@ func (e *Extraction) Table() (*table.Table, error) {
 }
 
 // Extract mines attributes for the entities referenced by linkCols of base.
+// It is ExtractCtx with a background context (extraction cannot be
+// cancelled).
 func Extract(base *table.Table, linkCols []string, g *kg.Graph, linker *ned.Linker, opts Options) (*Extraction, error) {
+	return ExtractCtx(context.Background(), base, linkCols, g, linker, opts)
+}
+
+// ExtractCtx mines attributes for the entities referenced by linkCols of
+// base, honouring ctx: entity linking and graph walking check for
+// cancellation between slots, so a deadline or a disconnected client stops
+// the walk promptly. On cancellation the returned error wraps ctx.Err().
+// Concurrent calls are safe as long as the linker's aliases are no longer
+// being registered (linking uses the stateless ned.Linker.Resolve).
+func ExtractCtx(ctx context.Context, base *table.Table, linkCols []string, g *kg.Graph, linker *ned.Linker, opts Options) (*Extraction, error) {
 	if opts.Hops <= 0 {
 		opts.Hops = 1
 	}
@@ -197,7 +210,7 @@ func Extract(base *table.Table, linkCols []string, g *kg.Graph, linker *ned.Link
 		if col.Typ != table.String {
 			return nil, fmt.Errorf("extract: link column %q must be a string column", lc)
 		}
-		attrs, err := extractColumn(base, col, g, linker, opts, res)
+		attrs, err := extractColumn(ctx, base, col, g, linker, opts, res)
 		if err != nil {
 			return nil, err
 		}
@@ -221,19 +234,30 @@ func Extract(base *table.Table, linkCols []string, g *kg.Graph, linker *ned.Link
 	return res, nil
 }
 
-func extractColumn(base *table.Table, col *table.Column, g *kg.Graph, linker *ned.Linker, opts Options, res *Extraction) ([]*Attribute, error) {
+// cancelCheckStride is how many loop iterations the extraction hot loops run
+// between context checks — frequent enough that a cancelled request stops
+// within microseconds, rare enough that the atomic load in ctx.Err is free.
+const cancelCheckStride = 256
+
+func extractColumn(ctx context.Context, base *table.Table, col *table.Column, g *kg.Graph, linker *ned.Linker, opts Options, res *Extraction) ([]*Attribute, error) {
 	n := col.Len()
 
-	// Slot per distinct value; resolve each once.
+	// Slot per distinct value; resolve each once. Outcome statistics are
+	// counted locally (not on the linker) so concurrent extractions over a
+	// shared linker do not race.
 	var nsp *obs.Span
 	if opts.Trace != nil {
 		nsp = opts.Trace.Start("ned " + col.Name)
 	}
-	linker.ResetStats()
+	var st ned.Stats
 	slotOf := make(map[string]int32)
 	var slotEnt []kg.EntityID // entity per slot, -1 when unresolved
 	rowSlot := make([]int32, n)
 	for i := 0; i < n; i++ {
+		if i%cancelCheckStride == 0 && ctx.Err() != nil {
+			nsp.End()
+			return nil, fmt.Errorf("extract: entity linking %q: %w", col.Name, ctx.Err())
+		}
 		if col.IsNull(i) {
 			rowSlot[i] = -1
 			continue
@@ -243,15 +267,21 @@ func extractColumn(base *table.Table, col *table.Column, g *kg.Graph, linker *ne
 		if !ok {
 			s = int32(len(slotEnt))
 			slotOf[v] = s
-			if id, out := linker.Link(v); out == ned.Linked {
+			id, out := linker.Resolve(v)
+			switch out {
+			case ned.Linked:
+				st.Linked++
 				slotEnt = append(slotEnt, id)
-			} else {
+			case ned.Unlinked:
+				st.Unlinked++
+				slotEnt = append(slotEnt, -1)
+			case ned.Ambiguous:
+				st.Ambiguous++
 				slotEnt = append(slotEnt, -1)
 			}
 		}
 		rowSlot[i] = s
 	}
-	st := linker.Stats()
 	res.LinkStats[col.Name] = st
 	st.Record(opts.Trace)
 	nsp.SetInt("distinct-values", int64(len(slotOf)))
@@ -267,6 +297,10 @@ func extractColumn(base *table.Table, col *table.Column, g *kg.Graph, linker *ne
 	}
 	b := newBuilderSet(len(slotEnt))
 	for s, ent := range slotEnt {
+		if s%cancelCheckStride == 0 && ctx.Err() != nil {
+			wsp.End()
+			return nil, fmt.Errorf("extract: kg walk %q: %w", col.Name, ctx.Err())
+		}
 		if ent < 0 {
 			continue
 		}

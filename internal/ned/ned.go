@@ -93,8 +93,18 @@ func (l *Linker) AddAmbiguousAlias(alias string, ids ...kg.EntityID) {
 	l.norm[key] = append(l.norm[key], ids...)
 }
 
+// Resolve links value to an entity id without touching the linker's
+// accumulated statistics. Unlike Link it is safe for concurrent use (the
+// lookup indexes are immutable after alias registration), which is what the
+// extraction path uses when several explanation requests run in parallel;
+// callers that want per-workload statistics count the outcomes themselves.
+func (l *Linker) Resolve(value string) (kg.EntityID, Outcome) {
+	return l.resolve(value)
+}
+
 // Link resolves value to an entity id. The second return is the outcome;
-// stats are accumulated on the linker.
+// stats are accumulated on the linker. Because of that accumulation Link is
+// NOT safe for concurrent use; concurrent callers should use Resolve.
 func (l *Linker) Link(value string) (kg.EntityID, Outcome) {
 	id, out := l.resolve(value)
 	switch out {

@@ -72,6 +72,13 @@ const (
 	// SubgroupNodesExplored / SubgroupNodesPushed mirror subgroups.Stats.
 	SubgroupNodesExplored = "subgroup_nodes_explored"
 	SubgroupNodesPushed   = "subgroup_nodes_pushed"
+	// ExtractCacheHits / ExtractCacheMisses count lookups in the keyed
+	// per-dataset KG-extraction cache (nexus.ExtractionCache): a hit means a
+	// whole NED + graph-walk pass was avoided because an earlier request
+	// over the same dataset context already extracted (or is extracting —
+	// waiters on an in-flight extraction count as hits too).
+	ExtractCacheHits   = "extract_cache_hits"
+	ExtractCacheMisses = "extract_cache_misses"
 )
 
 // PrunedCounter names the per-rule prune counter, e.g.

@@ -1,0 +1,462 @@
+// Package server implements nexusd, the long-running HTTP explanation
+// service over a nexus.Session:
+//
+//	POST /v1/explain  — aggregate query in, JSON explanation out (or a job
+//	                    id when the request asks for async execution)
+//	GET  /v1/jobs/{id} — status/result of an async job
+//	GET  /healthz      — liveness (503 while draining)
+//	GET  /debug/vars   — expvar JSON including the server's counter set
+//
+// Explanations run on a bounded worker pool fed by a bounded queue; a full
+// queue answers 429 (backpressure) rather than accepting unbounded work.
+// Every job runs under a context: per-request deadlines (timeout_ms, capped
+// by the server maximum) map to 408, client disconnects map to 499, and
+// graceful shutdown (Serve returns once its context is cancelled, e.g. by
+// SIGTERM) drains in-flight jobs before exiting. Concurrent requests over
+// the same dataset context share one KG extraction through the session's
+// nexus.ExtractionCache.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"nexus"
+	"nexus/internal/obs"
+	"nexus/internal/subgroups"
+)
+
+// Server-level counter names, reported into Config.Metrics and exported via
+// GET /debug/vars under the "nexusd" key (alongside the extraction-cache
+// counters obs.ExtractCacheHits / obs.ExtractCacheMisses when the session's
+// cache shares the same counter set).
+const (
+	// CtrRequests counts POST /v1/explain requests accepted for execution.
+	CtrRequests = "requests_total"
+	// CtrRejected counts requests refused with 429 (queue full).
+	CtrRejected = "jobs_rejected"
+	// CtrCompleted / CtrFailed / CtrTimeout / CtrCancelled count terminal
+	// job states: success, non-context error (400), deadline exceeded
+	// (408), and client disconnect or shutdown (499).
+	CtrCompleted = "jobs_completed"
+	CtrFailed    = "jobs_failed"
+	CtrTimeout   = "jobs_timeout"
+	CtrCancelled = "jobs_cancelled"
+)
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// recorded when the client went away before the explanation finished.
+const StatusClientClosedRequest = 499
+
+// Config configures a Server. Zero fields select the documented defaults.
+type Config struct {
+	// Session answers the explanations. Its catalog and linker must not be
+	// mutated once the server starts (required by the extraction cache and
+	// by concurrent linking).
+	Session *nexus.Session
+	// Workers bounds concurrently running explanations (default
+	// GOMAXPROCS, capped at 8 — explanations parallelize internally).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; a full queue answers
+	// 429 (default 4 × Workers).
+	QueueDepth int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 60s). MaxTimeout caps client-requested timeouts
+	// (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSubgroups caps the per-request subgroups k (default 20).
+	MaxSubgroups int
+	// KeepJobs bounds retained terminal jobs (default 1024).
+	KeepJobs int
+	// Metrics receives the server counters. Sharing this set with the
+	// session's nexus.ExtractionCache makes cache traffic visible on
+	// /debug/vars too. Nil allocates a private set.
+	Metrics *obs.Counters
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxSubgroups <= 0 {
+		c.MaxSubgroups = 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewCounters()
+	}
+}
+
+// Server is the HTTP explanation service. Construct with New, serve with
+// Serve or ListenAndServe (both block until their context is cancelled,
+// then drain).
+type Server struct {
+	cfg     Config
+	metrics *obs.Counters
+	jobs    *jobStore
+	queue   chan *Job
+
+	baseCtx    context.Context // parent of async job contexts
+	baseCancel context.CancelFunc
+
+	inflight sync.WaitGroup // queued + running jobs
+	workers  sync.WaitGroup
+
+	mu       sync.Mutex
+	started  bool
+	draining bool
+}
+
+// New builds a Server over the session. The config's Session must be
+// non-nil.
+func New(cfg Config) *Server {
+	if cfg.Session == nil {
+		panic("server: Config.Session is required")
+	}
+	cfg.applyDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		metrics:    cfg.Metrics,
+		jobs:       newJobStore(cfg.KeepJobs),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+}
+
+// Metrics exposes the server's counter set (the one /debug/vars renders).
+func (s *Server) Metrics() *obs.Counters { return s.metrics }
+
+// Start launches the worker pool. Serve calls it; call it directly only
+// when driving the Handler through a custom HTTP server.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for j := range s.queue {
+				s.run(j)
+			}
+		}()
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return mux
+}
+
+// Serve accepts connections on ln until ctx is cancelled (the caller
+// typically derives ctx from SIGTERM via signal.NotifyContext), then
+// gracefully drains: new explanation requests are refused with 503,
+// in-flight jobs run to completion (bounded by drainTimeout, after which
+// their contexts are cancelled), and the HTTP server shuts down. It
+// returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	s.Start()
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		s.shutdownWorkers(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+
+	werr := s.shutdownWorkers(dctx)
+	herr := hs.Shutdown(dctx)
+	if herr != nil {
+		hs.Close()
+	}
+	if werr != nil {
+		return werr
+	}
+	return herr
+}
+
+// ListenAndServe is Serve over a fresh TCP listener on addr.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, drainTimeout)
+}
+
+// shutdownWorkers waits for in-flight jobs (cancelling them if ctx expires
+// first), then stops the worker pool. It flips the draining flag first, so
+// once inflight drains no new job can reach the queue and closing it is
+// safe — admit() registers a job with inflight under the same lock that
+// checks the flag.
+func (s *Server) shutdownWorkers(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		// Hard stop: cancel async jobs (sync jobs die with their HTTP
+		// connections) and give workers a moment to observe it.
+		err = fmt.Errorf("server: drain timed out: %w", ctx.Err())
+		s.baseCancel()
+		<-drained
+	}
+	s.mu.Lock()
+	started := s.started
+	s.started = false
+	s.mu.Unlock()
+	if started {
+		close(s.queue)
+		s.workers.Wait()
+	}
+	return err
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// admit registers one unit of in-flight work unless the server is draining.
+// Pairing the draining check and the inflight.Add under one lock guarantees
+// shutdownWorkers cannot observe a drained WaitGroup and close the queue
+// while an admitted job is still on its way in.
+func (s *Server) admit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// run executes one job on a worker goroutine.
+func (s *Server) run(j *Job) {
+	defer s.inflight.Done()
+	j.start()
+	start := time.Now()
+
+	rep, err := s.cfg.Session.ExplainCtx(j.ctx, j.req.SQL)
+	var groups []subgroups.Group
+	var gstats subgroups.Stats
+	if err == nil && j.req.Subgroups > 0 {
+		groups, gstats, err = rep.SubgroupsCtx(j.ctx, j.req.Subgroups, j.req.Tau)
+	}
+	if err != nil {
+		state, code := classifyError(err)
+		s.metrics.Add(counterForCode(code), 1)
+		j.finish(nil, state, err.Error(), code)
+		return
+	}
+	s.metrics.Add(CtrCompleted, 1)
+	j.finish(buildResponse(rep, groups, gstats, j.req.Subgroups > 0, time.Since(start)), JobDone, "", http.StatusOK)
+}
+
+// classifyError maps a pipeline error to a terminal job state and HTTP
+// status: deadline → 408, cancellation → 499, anything else (parse errors,
+// unknown tables/columns) → 400.
+func classifyError(err error) (JobState, int) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return JobCancelled, http.StatusRequestTimeout
+	case errors.Is(err, context.Canceled):
+		return JobCancelled, StatusClientClosedRequest
+	default:
+		return JobFailed, http.StatusBadRequest
+	}
+}
+
+func counterForCode(code int) string {
+	switch code {
+	case http.StatusRequestTimeout:
+		return CtrTimeout
+	case StatusClientClosedRequest:
+		return CtrCancelled
+	default:
+		return CtrFailed
+	}
+}
+
+func kindForCode(code int) string {
+	switch code {
+	case http.StatusRequestTimeout:
+		return "timeout"
+	case StatusClientClosedRequest:
+		return "cancelled"
+	default:
+		return "bad_request"
+	}
+}
+
+// handleExplain admits a job into the queue and, for synchronous requests,
+// waits for its terminal state.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
+		return
+	}
+	var req ExplainRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `"sql" is required`)
+		return
+	}
+	if req.Subgroups > s.cfg.MaxSubgroups {
+		req.Subgroups = s.cfg.MaxSubgroups
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	// Sync jobs inherit the request context so a disconnected client
+	// cancels the work; async jobs outlive their request and inherit the
+	// server's lifetime context instead.
+	parent := r.Context()
+	if req.Async {
+		parent = s.baseCtx
+	}
+	jctx, cancel := context.WithTimeout(parent, timeout)
+	j := &Job{ctx: jctx, cancel: cancel, done: make(chan struct{}), state: JobQueued, req: req, enqueued: time.Now()}
+
+	if !s.admit() {
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
+		return
+	}
+	j.ID = s.jobs.add(j)
+	select {
+	case s.queue <- j:
+		s.metrics.Add(CtrRequests, 1)
+	default:
+		s.inflight.Done()
+		cancel()
+		s.metrics.Add(CtrRejected, 1)
+		writeError(w, http.StatusTooManyRequests, "queue_full", "job queue is full, retry later")
+		return
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"job_id":     j.ID,
+			"status_url": "/v1/jobs/" + j.ID,
+		})
+		return
+	}
+
+	<-j.done
+	st := j.snapshot()
+	if st.State == JobDone {
+		writeJSON(w, http.StatusOK, st.Result)
+		return
+	}
+	writeError(w, st.Code, kindForCode(st.Code), st.Error)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "not_found", "unknown job id")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleVars renders the expvar JSON document (process-wide vars such as
+// memstats) with the server's own counter set injected under "nexusd". The
+// injection keeps per-server counters correct even when several Servers
+// live in one process, which the global expvar registry cannot represent.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	fmt.Fprintf(w, "%q: ", "nexusd")
+	counters, _ := json.Marshal(s.metrics.Snapshot())
+	w.Write(counters)
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "nexusd" {
+			return
+		}
+		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value)
+	})
+	fmt.Fprintf(w, "\n}\n")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string) {
+	writeJSON(w, code, errorBody{Error: msg, Kind: kind, Code: code})
+}

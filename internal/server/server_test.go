@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"nexus"
+	"nexus/internal/kg"
+	"nexus/internal/obs"
+	"nexus/internal/workload"
+)
+
+// The fixture world and dataset are immutable once built, so all tests share
+// them; each test builds its own Session + cache + Server so counters and
+// queues stay independent.
+var (
+	fixtureOnce sync.Once
+	fixtureWld  *kg.World
+	fixtureDS   *workload.Dataset
+)
+
+const testSQL = "SELECT Category, avg(Pay) FROM Forbes GROUP BY Category"
+
+func fixture(t *testing.T) (*kg.World, *workload.Dataset) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureWld = kg.NewWorld(kg.WorldConfig{Seed: 11})
+		ds, err := workload.ByName(fixtureWld, "forbes", 400, 11)
+		if err != nil {
+			panic(err)
+		}
+		fixtureDS = ds
+	})
+	return fixtureWld, fixtureDS
+}
+
+// newTestServer builds a Server whose session shares one counter set with
+// the extraction cache, mirroring cmd/nexusd.
+func newTestServer(t *testing.T, cfg Config) (*Server, *obs.Counters) {
+	t.Helper()
+	world, ds := fixture(t)
+	metrics := obs.NewCounters()
+	sess := nexus.NewSession(world.Graph, &nexus.Options{
+		Hops:         1,
+		ExtractCache: nexus.NewExtractionCache(metrics),
+	})
+	sess.RegisterTable(ds.Name, ds.Table, ds.LinkColumns...)
+	sess.ExcludeCandidates(ds.Name, ds.ExcludeCandidates...)
+	cfg.Session = sess
+	cfg.Metrics = metrics
+	return New(cfg), metrics
+}
+
+// postExplain runs one POST /v1/explain. It is goroutine-safe: transport
+// errors are reported with Errorf and surface as a zero status code.
+func postExplain(t *testing.T, url string, req ExplainRequest) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Errorf("POST /v1/explain: %v", err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+// TestConcurrentExplainSharesExtraction is the headline cache test: N
+// concurrent requests over the same dataset context must run KG extraction
+// once and count N-1 cache hits.
+func TestConcurrentExplainSharesExtraction(t *testing.T) {
+	srv, metrics := newTestServer(t, Config{Workers: 4})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = postExplain(t, ts.URL, ExplainRequest{SQL: testSQL})
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, c)
+		}
+	}
+	hits := metrics.Get(obs.ExtractCacheHits)
+	misses := metrics.Get(obs.ExtractCacheMisses)
+	if hits == 0 {
+		t.Fatalf("extract_cache_hits = 0 (misses = %d); concurrent requests did not share the extraction", misses)
+	}
+	if misses != 1 {
+		t.Fatalf("extract_cache_misses = %d, want exactly 1", misses)
+	}
+
+	// The counters must also be visible on /debug/vars under "nexusd".
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Nexusd map[string]int64 `json:"nexusd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decoding /debug/vars: %v", err)
+	}
+	if vars.Nexusd[obs.ExtractCacheHits] != hits {
+		t.Fatalf("/debug/vars nexusd.extract_cache_hits = %d, want %d", vars.Nexusd[obs.ExtractCacheHits], hits)
+	}
+	if vars.Nexusd[CtrCompleted] != n {
+		t.Fatalf("/debug/vars nexusd.%s = %d, want %d", CtrCompleted, vars.Nexusd[CtrCompleted], n)
+	}
+}
+
+// TestDeadlineReturns408: a 1ms deadline must cancel the pipeline promptly
+// and map to 408 with the timeout error kind.
+func TestDeadlineReturns408(t *testing.T) {
+	srv, metrics := newTestServer(t, Config{Workers: 2})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	code, body := postExplain(t, ts.URL, ExplainRequest{SQL: testSQL, TimeoutMS: 1})
+	elapsed := time.Since(start)
+	if code != http.StatusRequestTimeout {
+		t.Fatalf("status = %d, want 408; body: %s", code, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body not JSON: %v (%s)", err, body)
+	}
+	if eb.Kind != "timeout" {
+		t.Fatalf("error kind = %q, want timeout (%s)", eb.Kind, body)
+	}
+	// "Promptly": far below the seconds a full explanation takes.
+	if elapsed > 3*time.Second {
+		t.Fatalf("1ms-deadline request took %v", elapsed)
+	}
+	if metrics.Get(CtrTimeout) != 1 {
+		t.Fatalf("%s = %d, want 1", CtrTimeout, metrics.Get(CtrTimeout))
+	}
+}
+
+// TestQueueBackpressure: with one worker and a one-slot queue, a burst of
+// simultaneous requests must see 429s rather than unbounded queueing.
+func TestQueueBackpressure(t *testing.T) {
+	srv, metrics := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = postExplain(t, ts.URL, ExplainRequest{SQL: testSQL})
+		}(i)
+	}
+	wg.Wait()
+	var ok, rejected int
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if rejected == 0 {
+		t.Fatal("no request was rejected with 429")
+	}
+	if metrics.Get(CtrRejected) != int64(rejected) {
+		t.Fatalf("%s = %d, want %d", CtrRejected, metrics.Get(CtrRejected), rejected)
+	}
+}
+
+// TestAsyncJobLifecycle drives the async path: 202 + job id, then polling
+// until the job lands with a full result.
+func TestAsyncJobLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 2})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := postExplain(t, ts.URL, ExplainRequest{SQL: testSQL, Subgroups: 3, Async: true})
+	if code != http.StatusAccepted {
+		t.Fatalf("async status = %d, want 202; body: %s", code, body)
+	}
+	var acc struct {
+		JobID     string `json:"job_id"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil || acc.JobID == "" {
+		t.Fatalf("bad 202 body: %v (%s)", err, body)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var st JobStatus
+	for {
+		resp, err := http.Get(ts.URL + acc.StatusURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobDone || st.State == JobFailed || st.State == JobCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", st.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.State != JobDone {
+		t.Fatalf("job state = %q (error %q), want done", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Query == "" {
+		t.Fatalf("done job has no result: %+v", st)
+	}
+	if st.Result.Subgroups == nil {
+		t.Fatal("subgroups requested but absent from result")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSIGTERMDrainsInflight is the graceful-shutdown acceptance test: a
+// SIGTERM delivered while an explanation is in flight must let it finish
+// (the synchronous client still gets its 200) before Serve returns.
+func TestSIGTERMDrainsInflight(t *testing.T) {
+	srv, metrics := newTestServer(t, Config{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, ln, 60*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	// Wait for the listener to answer.
+	for i := 0; ; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if i > 100 {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Launch a synchronous explanation, give it a moment to enter the
+	// pipeline, then deliver SIGTERM to ourselves mid-flight.
+	type result struct {
+		code int
+		body []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		body, _ := json.Marshal(ExplainRequest{SQL: testSQL})
+		resp, err := http.Post(base+"/v1/explain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		done <- result{code: resp.StatusCode, body: out}
+	}()
+	for i := 0; metrics.Get(CtrRequests) == 0; i++ {
+		if i > 200 {
+			t.Fatal("request never enqueued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight request failed: %v", res.err)
+	}
+	if res.code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d, body %s", res.code, res.body)
+	}
+	var er ExplainResponse
+	if err := json.Unmarshal(res.body, &er); err != nil {
+		t.Fatalf("drained response not a result: %v (%s)", err, res.body)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve after drain: %v", err)
+	}
+	if got := metrics.Get(CtrCompleted); got != 1 {
+		t.Fatalf("%s = %d, want 1 (job must complete, not be cancelled)", CtrCompleted, got)
+	}
+
+	// New work is refused once draining.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+// TestBadRequests covers the 400 envelope.
+func TestBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"not json", "{"},
+		{"missing sql", "{}"},
+		{"unparsable query", `{"sql":"this is not sql"}`},
+		{"unknown table", `{"sql":"SELECT a, avg(b) FROM nope GROUP BY a"}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/explain", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status = %d, want 400; body: %s", resp.StatusCode, b)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("error body not JSON: %v", err)
+			}
+			if eb.Kind != "bad_request" || eb.Error == "" {
+				t.Fatalf("bad envelope: %+v", eb)
+			}
+		})
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}

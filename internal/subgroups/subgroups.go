@@ -8,6 +8,7 @@ package subgroups
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"strings"
 
@@ -98,8 +99,16 @@ type Stats struct {
 
 // TopUnexplained runs Algorithm 2: it returns the k largest context
 // refinements whose explanation score exceeds τ, together with search
-// statistics.
+// statistics. It is TopUnexplainedCtx with a background context.
 func TopUnexplained(t, o *bins.Encoded, explanation []*bins.Encoded, attrs []RefinementAttr, opts Options) ([]Group, Stats, error) {
+	return TopUnexplainedCtx(context.Background(), t, o, explanation, attrs, opts)
+}
+
+// TopUnexplainedCtx is TopUnexplained honouring ctx: cancellation is checked
+// before every lattice node is scored, so a deadline or an abandoned request
+// stops the search within one CMI evaluation. On cancellation the returned
+// error wraps ctx.Err().
+func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*bins.Encoded, attrs []RefinementAttr, opts Options) ([]Group, Stats, error) {
 	if opts.K <= 0 {
 		opts.K = 5
 	}
@@ -139,6 +148,9 @@ func TopUnexplained(t, o *bins.Encoded, explanation []*bins.Encoded, attrs []Ref
 	var results []Group
 	scratch := make([]float64, n)
 	for h.Len() > 0 && len(results) < opts.K && stats.Explored < opts.MaxExplored {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("subgroups: lattice search: %w", err)
+		}
 		g := heap.Pop(h).(Group)
 		stats.Explored++
 		g.Score = scoreGroup(t, o, explanation, g.Rows, opts.Weights, scratch)

@@ -55,7 +55,17 @@ type Options struct {
 	// responsibility ranking and subgroup search (package obs). A nil
 	// trace disables observability at near-zero cost: spans and counters
 	// on a nil trace are allocation-free no-ops.
+	//
+	// A session-level trace assumes one Explain at a time (span nesting
+	// follows call order). Servers handling concurrent requests should
+	// leave it nil and rely on counters published elsewhere.
 	Trace *obs.Trace
+	// ExtractCache, when non-nil, memoizes KG extractions across Explain
+	// calls keyed by (table, WHERE clause, link columns, hops), with
+	// singleflight semantics so concurrent requests over the same dataset
+	// context extract once. Requires the catalog and linker to be immutable
+	// while requests are in flight. Nil extracts on every Prepare.
+	ExtractCache *ExtractionCache
 }
 
 func (o *Options) applyDefaults() {

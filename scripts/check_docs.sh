@@ -1,0 +1,68 @@
+#!/bin/sh
+# check_docs.sh — docs hygiene gate for CI.
+#
+#   1. gofmt: the tree must be gofmt-clean.
+#   2. links: every relative markdown link in docs/*.md must point at a
+#      file that exists.
+#   3. symbols: every `pkg.Symbol`-style identifier mentioned in
+#      docs/ARCHITECTURE.md and docs/API.md must still exist somewhere in
+#      the Go sources, so the docs cannot silently rot after a rename.
+#
+# Run from the repository root: ./scripts/check_docs.sh
+set -u
+fail=0
+
+# --- 1. gofmt ---------------------------------------------------------------
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "check_docs: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+# --- 2. relative links in docs/*.md -----------------------------------------
+tmp_broken=$(mktemp)
+for doc in docs/*.md; do
+    dir=$(dirname "$doc")
+    # extract the (target) parts of [text](target) links, one per line
+    grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' | while IFS= read -r link; do
+        case "$link" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target=${link%%#*} # drop anchors
+        [ -z "$target" ] && continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "check_docs: $doc links to missing file: $link" >&2
+            echo BROKEN >>"$tmp_broken"
+        fi
+    done
+done
+if [ -s "$tmp_broken" ]; then
+    fail=1
+fi
+rm -f "$tmp_broken"
+
+# --- 3. exported symbols named in the docs must still exist -----------------
+# Identifiers are cited in backticks as `pkg.Symbol` (or `Type.Field`); we
+# check that the trailing exported name still occurs as a word in non-test
+# Go sources.
+symfail=$(
+    grep -ho '`[A-Za-z][A-Za-z0-9_]*\(\.[A-Za-z][A-Za-z0-9_]*\)\{1,2\}`' \
+        docs/ARCHITECTURE.md docs/API.md |
+        tr -d '\`' | tr '.' '\n' | grep '^[A-Z]' | sort -u |
+        while IFS= read -r sym; do
+            if ! grep -rqw --include='*.go' --exclude='*_test.go' "$sym" .; then
+                echo "$sym"
+            fi
+        done
+)
+if [ -n "$symfail" ]; then
+    echo "check_docs: symbols cited in docs/ no longer exist in the Go sources:" >&2
+    echo "$symfail" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_docs: OK"
