@@ -61,6 +61,22 @@ func (c *ExtractionCache) Hits() int64 {
 	return c.counters.Get(obs.ExtractCacheHits)
 }
 
+// Misses returns the number of cache misses recorded so far (0 when the
+// cache was built without counters or is nil). Hits+Misses is the total
+// lookup count; the miss count is the number of NED + graph-walk passes
+// actually performed. This is the outermost layer of the caching story:
+// ExtractionCache deduplicates whole extractions across requests, the
+// session's per-attribute encoders deduplicate binning within an
+// extraction, and core's per-run scoring cache deduplicates Enc/Weights
+// calls within one Explain (see docs/ARCHITECTURE.md, "Hot path &
+// caching").
+func (c *ExtractionCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.counters.Get(obs.ExtractCacheMisses)
+}
+
 // get returns the extraction for key, running fn at most once per key
 // (unless fn fails, in which case the entry is evicted so a later request
 // retries). The second return reports whether the lookup was a hit — either

@@ -2,12 +2,48 @@ package core
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 
 	"nexus/internal/bins"
 	"nexus/internal/infotheory"
 	"nexus/internal/obs"
 	"nexus/internal/stats"
 )
+
+// permTest evaluates up to b permuted statistics (concurrently when
+// parallelism allows), counting how many exceed the observed one. Once the
+// count passes allow the reject verdict is determined — no outcome of the
+// remaining permutations can change it — so pending evaluations are skipped.
+// The accept verdict still requires every permutation to run, so the final
+// count is exact whenever count ≤ allow. Permutation i's statistic depends
+// only on its own seed, never on evaluation order, so the verdict is
+// deterministic under any schedule; only the number of permutations actually
+// run (returned for the PermutationsRun counter) varies under parallelism.
+//
+// A permutation that fails to evaluate no longer counts as an exceedance —
+// that silently rejected healthy candidates on transient encode failures.
+// The first error is returned instead and the caller propagates it.
+func permTest(ctx context.Context, b, allow, parallelism int, eval func(i int) (bool, error)) (count, ran int, err error) {
+	var exceeded, evaluated int64
+	var errOnce sync.Once
+	var firstErr error
+	parallelForCtx(ctx, b, parallelism, func(i int) {
+		if atomic.LoadInt64(&exceeded) > int64(allow) {
+			return // reject verdict already determined
+		}
+		atomic.AddInt64(&evaluated, 1)
+		exceed, e := eval(i)
+		if e != nil {
+			errOnce.Do(func() { firstErr = e })
+			return
+		}
+		if exceed {
+			atomic.AddInt64(&exceeded, 1)
+		}
+	})
+	return int(atomic.LoadInt64(&exceeded)), int(atomic.LoadInt64(&evaluated)), firstErr
+}
 
 // permDependent reports whether the observed statistic I(O; E | given)
 // significantly exceeds its permutation null: the candidate's values are
@@ -20,34 +56,32 @@ import (
 // (Lemma 4.2) and by the permutation variant of the low-relevance prune:
 // entity-level attributes correlate with the outcome by chance at entity
 // granularity, which row-level χ² corrections cannot account for.
+//
+// given may be a pre-joined composite of the selected prefix
+// (infotheory.JoinVars); depth is the logical size of the conditioning set,
+// kept separate so the seed schedule is unchanged by the composite
+// representation. Errors from Permute propagate to the caller.
 func permDependent(ctx context.Context, tr *obs.Trace, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, given []infotheory.Var,
-	b, allow, parallelism int, seed uint64) bool {
+	depth, b, allow, parallelism int, seed uint64) (bool, error) {
 
 	tr.Add(obs.CITests, 1)
 	observed := infotheory.CondMutualInfo(o, enc, given, nil)
 	if observed <= 0 {
-		return false
+		return false, nil
 	}
-	tr.Add(obs.PermutationsRun, int64(b))
-	exceed := make([]bool, b)
-	base := seed*0x9e3779b9 + uint64(len(given))*1000003 + hashName(cand.Name)
-	parallelForCtx(ctx, b, parallelism, func(i int) {
+	base := seed*0x9e3779b9 + uint64(depth)*1000003 + hashName(cand.Name)
+	count, ran, err := permTest(ctx, b, allow, parallelism, func(i int) (bool, error) {
 		pe, err := cand.Permute(stats.NewRNG(base + uint64(i)*0x45d9f3b))
 		if err != nil {
-			exceed[i] = true // conservative: failure counts as a null exceedance
-			return
+			return false, err
 		}
-		if infotheory.CondMutualInfo(o, pe, given, nil) >= observed {
-			exceed[i] = true
-		}
+		return infotheory.CondMutualInfo(o, pe, given, nil) >= observed, nil
 	})
-	count := 0
-	for _, e := range exceed {
-		if e {
-			count++
-		}
+	tr.Add(obs.PermutationsRun, int64(ran))
+	if err != nil {
+		return false, err
 	}
-	return count <= allow
+	return count <= allow, nil
 }
 
 func hashName(s string) uint64 {

@@ -59,7 +59,11 @@ func TestPermDependentDetectsEntityLevelSignal(t *testing.T) {
 		oVals[i] = 2*entVals[i%nEnt] + 0.3*rng.Norm()
 	}
 	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
-	if !permDependent(context.Background(), nil, o, cand, enc, nil, 19, 0, 1, 7) {
+	dep, err := permDependent(context.Background(), nil, o, cand, enc, nil, 0, 19, 0, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dep {
 		t.Fatal("real entity-level dependence not detected")
 	}
 }
@@ -89,7 +93,11 @@ func TestPermDependentRejectsEntityChance(t *testing.T) {
 			entVals[i] = rng.Norm() // junk: independent of O's entity means
 		}
 		cand, enc := entityCandidate(t, fmt.Sprintf("junk%d", tr), entVals, rowsPer)
-		if !permDependent(context.Background(), nil, o, cand, enc, nil, 19, 0, 1, uint64(tr)) {
+		dep, err := permDependent(context.Background(), nil, o, cand, enc, nil, 0, 19, 0, 1, uint64(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dep {
 			rejected++
 		}
 	}
@@ -108,7 +116,11 @@ func TestPermDependentZeroObserved(t *testing.T) {
 		oVals[i] = rng.Norm()
 	}
 	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
-	if permDependent(context.Background(), nil, o, cand, enc, nil, 9, 0, 1, 1) {
+	dep, err := permDependent(context.Background(), nil, o, cand, enc, nil, 0, 9, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep {
 		t.Fatal("constant candidate reported dependent")
 	}
 }
@@ -125,8 +137,11 @@ func TestPermDependentDeterministic(t *testing.T) {
 		oVals[i] = 0.5*entVals[i%80] + rng.Norm()
 	}
 	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
-	a := permDependent(context.Background(), nil, o, cand, enc, nil, 19, 0, 1, 42)
-	b := permDependent(context.Background(), nil, o, cand, enc, nil, 19, 0, 1, 42)
+	a, errA := permDependent(context.Background(), nil, o, cand, enc, nil, 0, 19, 0, 1, 42)
+	b, errB := permDependent(context.Background(), nil, o, cand, enc, nil, 0, 19, 0, 1, 42)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if a != b {
 		t.Fatal("permDependent not deterministic for fixed seed")
 	}

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"nexus/internal/bins"
 	"nexus/internal/infotheory"
+	"nexus/internal/obs"
 	"nexus/internal/stats"
 	"nexus/internal/table"
 )
@@ -376,6 +379,124 @@ func TestParallelForMatchesSerial(t *testing.T) {
 		t.Fatal("workers > n broken")
 	}
 	parallelFor(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestExplainEncodesOncePerCandidate(t *testing.T) {
+	// Every phase of the pipeline (offline prune, online prune, relevance
+	// pass, consider loop, redundancy pass, scoring) needs the candidate's
+	// encoding; the per-run cache must collapse all of that to exactly one
+	// Candidate.Enc invocation per candidate per Explain call.
+	s := buildScenario(t, 8000, 12)
+	counts := make([]int64, len(s.all))
+	cands := make([]*Candidate, len(s.all))
+	for i, c := range s.all {
+		i, inner := i, c.Enc
+		cands[i] = &Candidate{
+			Name:   c.Name,
+			Origin: c.Origin,
+			Enc: func() (*bins.Encoded, error) {
+				atomic.AddInt64(&counts[i], 1)
+				return inner()
+			},
+		}
+	}
+	tr := obs.New("enc-count")
+	opts := DefaultOptions()
+	opts.Trace = tr
+	if _, err := Explain(s.t, s.o, cands, opts); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cands {
+		if n := atomic.LoadInt64(&counts[i]); n != 1 {
+			t.Fatalf("candidate %s encoded %d times, want exactly 1", c.Name, n)
+		}
+	}
+	if tr.Counters().Get(obs.EncCacheHits) == 0 {
+		t.Fatal("no enc-cache hits recorded despite a multi-phase run")
+	}
+}
+
+func TestMCIMRParallelismInvariant(t *testing.T) {
+	// The speculative consider loop must select the same attributes in the
+	// same order, with the same relevances, at any Parallelism setting. The
+	// pool mixes analytic-test candidates with entity-level (Permute-
+	// carrying) junk so both the permutation tests and the skip bookkeeping
+	// run inside speculative batches.
+	s := buildScenario(t, 8000, 13)
+	cands := append([]*Candidate{}, s.all...)
+	rng := stats.NewRNG(99)
+	for j := 0; j < 3; j++ {
+		entVals := make([]float64, 200)
+		for i := range entVals {
+			entVals[i] = rng.Norm()
+		}
+		c, _ := entityCandidate(t, fmt.Sprintf("ent%d", j), entVals, 40)
+		cands = append(cands, c)
+	}
+	render := func(sel *Selection) string {
+		var b strings.Builder
+		for _, a := range sel.Attrs {
+			fmt.Fprintf(&b, "%s|%.17g\n", a.Name, a.Relevance)
+		}
+		return b.String()
+	}
+	serial, err := MCIMR(s.t, s.o, cands, Options{K: 4, Seed: 7, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Attrs) == 0 {
+		t.Fatal("serial run selected nothing; fixture too weak")
+	}
+	want := render(serial)
+	for _, p := range []int{2, 4, 8} {
+		sel, err := MCIMR(s.t, s.o, cands, Options{K: 4, Seed: 7, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(sel); got != want {
+			t.Fatalf("Parallelism=%d selection differs:\n%s\n--- vs serial ---\n%s", p, got, want)
+		}
+	}
+}
+
+func TestMCIMRNegativeSkipBudgetStopsAtFirstFailure(t *testing.T) {
+	// SkipBudget < 0 restores Algorithm 1 as published: the run stops at
+	// the first failing candidate instead of setting it aside.
+	rng := stats.NewRNG(31)
+	nEnt, rowsPer := 50, 40
+	oEnt := make([]float64, nEnt)
+	for i := range oEnt {
+		oEnt[i] = rng.Norm()
+	}
+	n := nEnt * rowsPer
+	oVals := make([]float64, n)
+	tVals := make([]string, n)
+	for i := range oVals {
+		oVals[i] = oEnt[i%nEnt] + 0.2*rng.Norm()
+		tVals[i] = fmt.Sprintf("e%d", i%nEnt)
+	}
+	o, _ := bins.Encode(table.NewFloatColumn("O", oVals), bins.DefaultOptions())
+	tt, _ := bins.Encode(table.NewStringColumn("T", tVals), bins.DefaultOptions())
+	var cands []*Candidate
+	for j := 0; j < 8; j++ {
+		entVals := make([]float64, nEnt)
+		for i := range entVals {
+			entVals[i] = rng.Norm()
+		}
+		c, _ := entityCandidate(t, fmt.Sprintf("junk%02d", j), entVals, rowsPer)
+		cands = append(cands, c)
+	}
+	tr := obs.New("neg-budget")
+	sel, err := MCIMR(tt, o, cands, Options{K: 5, SkipBudget: -1, Seed: 1, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Attrs) != 0 {
+		t.Fatalf("junk-only pool selected %v with SkipBudget<0", sel.Attrs)
+	}
+	if skips := tr.Counters().Get(obs.MCIMRSkips); skips != 1 {
+		t.Fatalf("recorded %d skips, want exactly 1 (stop at first failure)", skips)
+	}
 }
 
 func names(cs []*Candidate) []string {

@@ -3,8 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"runtime"
+	"sort"
 	"strconv"
 	"time"
 
@@ -43,7 +43,8 @@ type Options struct {
 	// gainSignificant); MinGain alone guards the rest.
 	MinGain float64
 	// GainPermTests is the number of permutations of the calibrated gain
-	// test (default 9; one-sided p ≤ 0.1).
+	// test (default 19; with the default PermAllow of 0 that is a one-sided
+	// test at p ≤ 0.05).
 	GainPermTests int
 	// SkipBudget bounds how many failing candidates (responsibility test
 	// or gain guard) are set aside across the whole run before MCIMR
@@ -51,11 +52,16 @@ type Options struct {
 	// candidate; a bounded skip list keeps that behaviour in spirit while
 	// tolerating the occasional degenerate attribute (near-FD with a
 	// low-cardinality exposure) that reaches the argmin position first.
-	// Default 8.
+	// Default 10. A negative budget restores the published behaviour
+	// exactly: the run stops at the first failing candidate.
 	SkipBudget int
 	// Seed makes the permutation test deterministic.
 	Seed uint64
-	// Parallelism bounds worker goroutines (default GOMAXPROCS).
+	// Parallelism bounds worker goroutines (default GOMAXPROCS). It also
+	// sets how many argmin-ranked candidates the consider loop evaluates
+	// speculatively per batch (capped at 8); 1 reproduces the strictly
+	// serial scan. Selection is identical at any setting — speculative
+	// results are consumed in serial argmin order.
 	Parallelism int
 	// Prune tunes §4.2; zero value means DefaultPruneOptions.
 	Prune PruneOptions
@@ -165,6 +171,10 @@ func Explain(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation
 // per-candidate unit of work). On cancellation the returned error wraps
 // ctx.Err(), so errors.Is(err, context.DeadlineExceeded) and
 // errors.Is(err, context.Canceled) distinguish the two server cases.
+//
+// All phases share one per-run scoring cache: a candidate is encoded (and
+// its IPW weights derived) at most once per Explain call, no matter how
+// many phases touch it.
 func ExplainCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opts Options) (*Explanation, error) {
 	opts.applyDefaults()
 	start := time.Now()
@@ -173,13 +183,14 @@ func ExplainCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opt
 	defer esp.End()
 
 	res := &Explanation{BaseScore: infotheory.MutualInfo(o, t, nil)}
+	rc := newRunCache(tr)
 
 	working := cands
 	if !opts.DisableOfflinePrune {
 		var err error
 		var stats PruneStats
 		sp := tr.Start("offline-prune")
-		working, stats, err = OfflinePruneCtx(ctx, tr, working, opts.Prune)
+		working, stats, err = offlinePruneCached(ctx, tr, rc, working, opts.Prune)
 		recordPruneSpan(tr, sp, "offline", stats)
 		if err != nil {
 			return nil, err
@@ -190,7 +201,7 @@ func ExplainCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opt
 		var err error
 		var stats PruneStats
 		sp := tr.Start("online-prune")
-		working, stats, err = OnlinePruneCtx(ctx, tr, t, o, working, opts.Prune)
+		working, stats, err = onlinePruneCached(ctx, tr, rc, t, o, working, opts.Prune)
 		recordPruneSpan(tr, sp, "online", stats)
 		if err != nil {
 			return nil, err
@@ -198,7 +209,7 @@ func ExplainCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opt
 		res.OnlineStats = stats
 	}
 
-	sel, err := MCIMRCtx(ctx, t, o, working, opts)
+	sel, err := mcimrCached(ctx, rc, t, o, working, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +267,51 @@ func MCIMR(t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, er
 // returned error wraps ctx.Err().
 func MCIMRCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, error) {
 	opts.applyDefaults()
+	return mcimrCached(ctx, newRunCache(opts.Trace), t, o, cands, opts)
+}
+
+// considerEval is the outcome of evaluating one candidate at the current
+// selection state: the responsibility-test verdict and, when that passes,
+// the joint score with the candidate added plus the calibrated-gain verdict.
+// Evaluations are pure with respect to the selection state (which only
+// changes when an attribute is accepted), so a batch of them can run
+// concurrently and be consumed later in serial argmin order.
+type considerEval struct {
+	enc      *bins.Encoded
+	w        []float64
+	respSkip bool    // responsibility test says O ⊥ E | selected
+	newScore float64 // I(O;T|C,selected,E); valid when !respSkip
+	gainOK   bool    // calibrated gain verdict; valid when the MinGain threshold passed
+	err      error
+}
+
+// mcimrCached is the MCIMR implementation behind MCIMRCtx/ExplainCtx,
+// sharing the per-run scoring cache rc with the pruning phases.
+//
+// Two representation tricks keep the consider loop off the hot path's
+// original cost curve without changing a single verdict:
+//
+//   - The selected prefix is folded into one pre-joined composite variable
+//     (infotheory.JoinVars), rebuilt only when an attribute is accepted.
+//     Conditioning on the composite partitions rows identically to
+//     conditioning on the set, and because the composite's codes are the
+//     DenseIDs product of the set, every downstream statistic is
+//     bit-identical — but each estimator call now joins 2 columns instead
+//     of k+1. The combined IPW weights of the prefix are folded
+//     incrementally alongside (same left-to-right order as
+//     combineWeights over the full set).
+//
+//   - Candidates are ranked once per iteration by the Eq. 5 objective
+//     (score ascending, candidate index as tie-break — exactly the order
+//     the serial argmin visits them, and frozen for the iteration because
+//     relevance and redundancy only change on accept). Batches of the top
+//     Parallelism (≤8) ranked candidates are then evaluated concurrently
+//     and consumed strictly in rank order, so skip bookkeeping, budget
+//     exhaustion and the accepted attribute are identical to the serial
+//     scan; evaluations ranked after an accepted candidate are discarded
+//     (obs.SpeculativeEvals vs obs.SpeculativeWins measures the trade).
+func mcimrCached(ctx context.Context, rc *runCache, t, o *bins.Encoded, cands []*Candidate, opts Options) (*Selection, error) {
+	opts.applyDefaults()
 	tr := opts.Trace
 	msp := tr.Start("mcimr")
 	defer msp.End()
@@ -281,12 +337,16 @@ func MCIMRCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opts 
 	parallelForCtx(ctx, len(cands), opts.Parallelism, func(i int) {
 		st := &state{cand: cands[i]}
 		states[i] = st
-		enc, err := cands[i].Enc()
+		enc, err := rc.enc(cands[i])
 		if err != nil {
 			st.err = err
 			return
 		}
-		w := weightsFor(cands[i], enc)
+		w, err := rc.weights(cands[i])
+		if err != nil {
+			st.err = err
+			return
+		}
 		st.relevance = infotheory.CondMutualInfo(o, t, []infotheory.Var{enc}, w)
 	})
 	tr.Add(obs.CandidatesScored, int64(len(cands)))
@@ -301,114 +361,194 @@ func MCIMRCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opts 
 		}
 	}
 
+	// Pre-joined composite of the selected prefix and its combined weights.
+	var selJoin infotheory.Var
+	var selW []float64
+	given := func() []infotheory.Var {
+		if selJoin == nil {
+			return nil
+		}
+		return []infotheory.Var{selJoin}
+	}
+
+	evalOne := func(cst *state, iter int) *considerEval {
+		ev := &considerEval{}
+		ev.enc, ev.err = rc.enc(cst.cand)
+		if ev.err != nil {
+			return ev
+		}
+		ev.w, ev.err = rc.weights(cst.cand)
+		if ev.err != nil {
+			return ev
+		}
+		// Responsibility test (Lemma 4.2): O ⊥ E | selected means the
+		// attribute's responsibility would be ≈ 0.
+		if !opts.DisableStopping {
+			ind, err := respIndependent(ctx, o, cst.cand, ev.enc, ev.w, given(), selW, len(sel.Encs), opts, iter)
+			if err != nil {
+				ev.err = err
+				return ev
+			}
+			if ind {
+				ev.respSkip = true
+				return ev
+			}
+		}
+		// Objective guard (Def. 2.3): accepting an attribute must reduce
+		// the joint score, and the reduction must be *real* — plug-in CMI
+		// shrinks under any extra conditioning (stratum shattering), so the
+		// gain is calibrated against permuted copies of the candidate,
+		// which shatter identically. The calibration only runs when the
+		// MinGain threshold passed (currentScore is frozen per iteration).
+		ev.newScore = infotheory.CondMutualInfo(o, t, append(given(), ev.enc), combineWeights(selW, ev.w))
+		if !opts.DisableStopping && ev.newScore < currentScore-opts.MinGain*baseScore {
+			ev.gainOK, ev.err = gainSignificant(ctx, t, o, cst.cand, ev.enc, given(), opts, iter)
+		}
+		return ev
+	}
+
+	width := opts.Parallelism
+	if width < 1 {
+		width = 1
+	}
+	if width > 8 {
+		width = 8
+	}
+
 	skipsLeft := opts.SkipBudget
 	for iter := 0; iter < opts.K; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: MCIMR iteration %d: %w", iter+1, err)
 		}
-		// NextBestAtt: minimize relevance + redundancy/|E| (Eq. 5).
-		// Candidates that fail the responsibility test or the gain guard
-		// are skipped (bounded by SkipBudget) and the next-best is tried.
 		var isp *obs.Span
 		if tr != nil {
 			isp = tr.Start("iteration " + strconv.Itoa(iter+1))
 		}
-		var st *state
-		var enc *bins.Encoded
-		var w []float64
-		for st == nil {
-			if err := ctx.Err(); err != nil {
-				isp.End()
-				return nil, fmt.Errorf("core: MCIMR iteration %d: %w", iter+1, err)
+		// NextBestAtt: minimize relevance + redundancy/|E| (Eq. 5).
+		// Candidates that fail the responsibility test or the gain guard
+		// are skipped (bounded by SkipBudget) and the next-best is tried.
+		type rankedCand struct {
+			idx   int
+			score float64
+		}
+		open := make([]rankedCand, 0, len(states))
+		for i, cst := range states {
+			if cst.selected || cst.skipped {
+				continue
 			}
-			bestIdx, bestScore := -1, math.Inf(1)
-			for i, cst := range states {
-				if cst.selected || cst.skipped {
-					continue
-				}
-				score := cst.relevance
-				if len(sel.Encs) > 0 {
-					score += cst.redSum / float64(len(sel.Encs))
-				}
-				if score < bestScore {
-					bestScore, bestIdx = score, i
-				}
+			score := cst.relevance
+			if len(sel.Encs) > 0 {
+				score += cst.redSum / float64(len(sel.Encs))
 			}
-			if bestIdx < 0 {
+			open = append(open, rankedCand{idx: i, score: score})
+		}
+		sort.Slice(open, func(a, b int) bool {
+			if open[a].score != open[b].score {
+				return open[a].score < open[b].score
+			}
+			return open[a].idx < open[b].idx
+		})
+
+		var chosen *state
+		var chosenEnc *bins.Encoded
+		var chosenW []float64
+		pos := 0
+		for chosen == nil {
+			if pos >= len(open) {
 				isp.SetStr("outcome", "pool-exhausted")
 				isp.End()
 				return sel, nil // pool exhausted
 			}
-			cst := states[bestIdx]
-			var csp *obs.Span
-			if tr != nil {
-				csp = tr.Start("consider " + cst.cand.Name)
+			end := pos + width
+			if end > len(open) {
+				end = len(open)
 			}
-			e, err := cst.cand.Enc()
-			if err != nil {
-				csp.End()
-				isp.End()
-				return nil, err
+			batch := open[pos:end]
+			pos = end
+			evals := make([]*considerEval, len(batch))
+			if len(batch) > 1 {
+				tr.Add(obs.SpeculativeEvals, int64(len(batch)-1))
+				parallelForCtx(ctx, len(batch), opts.Parallelism, func(bi int) {
+					evals[bi] = evalOne(states[batch[bi].idx], iter)
+				})
 			}
-			cw := weightsFor(cst.cand, e)
-
-			// Responsibility test (Lemma 4.2): O ⊥ E | selected means the
-			// attribute's responsibility would be ≈ 0.
-			if !opts.DisableStopping && respIndependent(ctx, o, cst.cand, e, sel, cw, opts, iter) {
-				cst.skipped = true
-				skipsLeft--
-				tr.Add(obs.MCIMRSkips, 1)
-				csp.SetStr("outcome", "skip:responsibility-test")
-				csp.End()
-				if skipsLeft < 0 {
-					isp.SetStr("outcome", "skip-budget-exhausted")
+			for bi := range batch {
+				if err := ctx.Err(); err != nil {
 					isp.End()
-					return sel, nil
+					return nil, fmt.Errorf("core: MCIMR iteration %d: %w", iter+1, err)
 				}
-				continue
-			}
-			// Objective guard (Def. 2.3): accepting an attribute must
-			// reduce the joint score, and the reduction must be *real* —
-			// plug-in CMI shrinks under any extra conditioning (stratum
-			// shattering), so the gain is calibrated against permuted
-			// copies of the candidate, which shatter identically.
-			newScore := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, sel.Encs...), e),
-				combineWeights(append(append([][]float64(nil), sel.Weights...), cw)...))
-			if !opts.DisableStopping && (newScore >= currentScore-opts.MinGain*baseScore ||
-				!gainSignificant(ctx, t, o, cst.cand, e, sel, opts, iter)) {
-				cst.skipped = true
-				skipsLeft--
-				tr.Add(obs.MCIMRSkips, 1)
-				csp.SetStr("outcome", "skip:gain-guard")
-				csp.SetFloat("cmi", newScore)
-				csp.End()
-				if skipsLeft < 0 {
-					isp.SetStr("outcome", "skip-budget-exhausted")
+				cst := states[batch[bi].idx]
+				var csp *obs.Span
+				if tr != nil {
+					csp = tr.Start("consider " + cst.cand.Name)
+				}
+				ev := evals[bi]
+				if ev == nil {
+					ev = evalOne(cst, iter) // serial path: evaluated under the span
+				} else if bi > 0 {
+					tr.Add(obs.SpeculativeWins, 1)
+				}
+				if ev.err != nil {
+					csp.End()
 					isp.End()
-					return sel, nil
+					return nil, ev.err
 				}
-				continue
+				if ev.respSkip {
+					cst.skipped = true
+					skipsLeft--
+					tr.Add(obs.MCIMRSkips, 1)
+					csp.SetStr("outcome", "skip:responsibility-test")
+					csp.End()
+					if skipsLeft < 0 {
+						isp.SetStr("outcome", "skip-budget-exhausted")
+						isp.End()
+						return sel, nil
+					}
+					continue
+				}
+				if !opts.DisableStopping && (ev.newScore >= currentScore-opts.MinGain*baseScore || !ev.gainOK) {
+					cst.skipped = true
+					skipsLeft--
+					tr.Add(obs.MCIMRSkips, 1)
+					csp.SetStr("outcome", "skip:gain-guard")
+					csp.SetFloat("cmi", ev.newScore)
+					csp.End()
+					if skipsLeft < 0 {
+						isp.SetStr("outcome", "skip-budget-exhausted")
+						isp.End()
+						return sel, nil
+					}
+					continue
+				}
+				currentScore = ev.newScore
+				chosen, chosenEnc, chosenW = cst, ev.enc, ev.w
+				csp.SetStr("outcome", "selected")
+				csp.SetFloat("cmi", ev.newScore)
+				csp.End()
+				break
 			}
-			currentScore = newScore
-			st, enc, w = cst, e, cw
-			csp.SetStr("outcome", "selected")
-			csp.SetFloat("cmi", newScore)
-			csp.End()
 		}
 
-		st.selected = true
+		chosen.selected = true
 		tr.Add(obs.MCIMRIterations, 1)
-		isp.SetStr("candidate", st.cand.Name)
+		isp.SetStr("candidate", chosen.cand.Name)
 		isp.SetFloat("cmi", currentScore)
-		isp.SetFloat("relevance", st.relevance)
+		isp.SetFloat("relevance", chosen.relevance)
 		sel.Attrs = append(sel.Attrs, SelectedAttr{
-			Name:      st.cand.Name,
-			Origin:    st.cand.Origin,
-			Hops:      st.cand.Hops,
-			Relevance: st.relevance,
+			Name:      chosen.cand.Name,
+			Origin:    chosen.cand.Origin,
+			Hops:      chosen.cand.Hops,
+			Relevance: chosen.relevance,
 		})
-		sel.Encs = append(sel.Encs, enc)
-		sel.Weights = append(sel.Weights, w)
+		sel.Encs = append(sel.Encs, chosenEnc)
+		sel.Weights = append(sel.Weights, chosenW)
+		if selJoin == nil {
+			selJoin = chosenEnc
+		} else {
+			selJoin = infotheory.JoinVars("selected", selJoin, chosenEnc)
+		}
+		tr.Add(obs.CompositeRebuilds, 1)
+		selW = combineWeights(selW, chosenW)
 
 		if iter == opts.K-1 {
 			isp.End()
@@ -422,13 +562,18 @@ func MCIMRCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opts 
 			if si.selected || si.skipped || si.err != nil {
 				return
 			}
-			encI, err := si.cand.Enc()
+			encI, err := rc.enc(si.cand)
 			if err != nil {
 				si.err = err
 				return
 			}
-			wi := combineWeights(weightsFor(si.cand, encI), w)
-			si.redSum += infotheory.MutualInfo(encI, enc, wi)
+			wI, err := rc.weights(si.cand)
+			if err != nil {
+				si.err = err
+				return
+			}
+			wi := combineWeights(wI, chosenW)
+			si.redSum += infotheory.MutualInfo(encI, chosenEnc, wi)
 		})
 		red.End()
 		isp.End()
@@ -448,20 +593,29 @@ func MCIMRCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opts 
 // true means O ⊥ E | selected (adding E has ≈0 responsibility; stop).
 //
 // Candidates exposing Permute get a permutation test at their source
-// granularity: the observed I(O;E|selected) must exceed every one of
-// opts.PermTests permuted statistics (one-sided p < 1/(B+1)). This is the
-// calibration that matters for entity-level attributes, whose chance
-// correlation lives at entity rather than row granularity. Candidates
-// without Permute fall back to the analytic debiased-CMI test with IPW
-// weights.
-func respIndependent(ctx context.Context, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *Selection, w []float64, opts Options, iter int) bool {
+// granularity: the observed I(O;E|selected) must exceed all but PermAllow
+// of opts.PermTests permuted statistics. This is the calibration that
+// matters for entity-level attributes, whose chance correlation lives at
+// entity rather than row granularity. Candidates without Permute fall back
+// to the analytic debiased-CMI test with IPW weights.
+//
+// given is the pre-joined composite of the selected prefix (possibly nil);
+// w the candidate's own IPW weights; selW the prefix's combined weights;
+// depth the logical size of the prefix, used only for permutation-seed
+// derivation so the composite representation leaves the seed schedule
+// unchanged.
+func respIndependent(ctx context.Context, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, w []float64, given []infotheory.Var, selW []float64, depth int, opts Options, iter int) (bool, error) {
 	if cand.Permute == nil {
 		opts.Trace.Add(obs.CITests, 1)
-		testW := combineWeights(append(append([][]float64(nil), sel.Weights...), w)...)
-		return infotheory.CondIndependent(o, enc, sel.Encs, testW, opts.RespThreshold)
+		testW := combineWeights(selW, w)
+		return infotheory.CondIndependent(o, enc, given, testW, opts.RespThreshold), nil
 	}
-	return !permDependent(ctx, opts.Trace, o, cand, enc, sel.Encs, opts.PermTests, opts.PermAllow, opts.Parallelism,
-		opts.Seed+uint64(iter))
+	dependent, err := permDependent(ctx, opts.Trace, o, cand, enc, given, depth,
+		opts.PermTests, opts.PermAllow, opts.Parallelism, opts.Seed+uint64(iter))
+	if err != nil {
+		return false, err
+	}
+	return !dependent, nil
 }
 
 // gainSignificant calibrates the joint-score reduction of a candidate
@@ -470,35 +624,29 @@ func respIndependent(ctx context.Context, o *bins.Encoded, cand *Candidate, enc 
 // GainPermTests permuted copies. A permuted copy has identical cardinality
 // and missingness, so it shatters the contingency strata exactly as much —
 // any additional reduction must be genuine dependence. Candidates without
-// Permute pass (MinGain already screened them).
-func gainSignificant(ctx context.Context, t, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, sel *Selection, opts Options, iter int) bool {
+// Permute pass (MinGain already screened them). given is the pre-joined
+// selected prefix; a Permute failure propagates as an error instead of
+// silently counting against the candidate.
+func gainSignificant(ctx context.Context, t, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, given []infotheory.Var, opts Options, iter int) (bool, error) {
 	if cand.Permute == nil {
-		return true
+		return true, nil
 	}
 	opts.Trace.Add(obs.CITests, 1)
-	opts.Trace.Add(obs.PermutationsRun, int64(opts.GainPermTests))
-	observed := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, sel.Encs...), enc), nil)
-	b := opts.GainPermTests
-	exceed := make([]bool, b)
+	observed := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, given...), enc), nil)
 	base := opts.Seed*0x2545f491 + uint64(iter)*7919 + hashName(cand.Name)
-	parallelForCtx(ctx, b, opts.Parallelism, func(i int) {
+	count, ran, err := permTest(ctx, opts.GainPermTests, opts.PermAllow, opts.Parallelism, func(i int) (bool, error) {
 		pe, err := cand.Permute(stats.NewRNG(base + uint64(i)*0x9e3779b9))
 		if err != nil {
-			exceed[i] = true
-			return
+			return false, err
 		}
-		perm := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, sel.Encs...), pe), nil)
-		if perm <= observed {
-			exceed[i] = true // the permuted copy "explains" as much
-		}
+		perm := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, given...), pe), nil)
+		return perm <= observed, nil // the permuted copy "explains" as much
 	})
-	count := 0
-	for _, e := range exceed {
-		if e {
-			count++
-		}
+	opts.Trace.Add(obs.PermutationsRun, int64(ran))
+	if err != nil {
+		return false, err
 	}
-	return count <= opts.PermAllow
+	return count <= opts.PermAllow, nil
 }
 
 // assignResponsibilities computes Def. 2.5 over the final explanation.

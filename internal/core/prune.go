@@ -35,7 +35,7 @@ type PruneOptions struct {
 	// entity-level attributes whose correlation with the outcome is pure
 	// entity-sampling chance. Enabled by default below MaxPermRows rows.
 	DisablePermRelevance bool
-	PermRelevanceTests   int // default 9
+	PermRelevanceTests   int // default 19
 	MaxPermRows          int // default 1_000_000
 }
 
@@ -91,6 +91,10 @@ func OfflinePruneTraced(tr *obs.Trace, cands []*Candidate, opts PruneOptions) ([
 // pass stops dispatching work once ctx is done and the call returns an error
 // wrapping ctx.Err().
 func OfflinePruneCtx(ctx context.Context, tr *obs.Trace, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
+	return offlinePruneCached(ctx, tr, newRunCache(tr), cands, opts)
+}
+
+func offlinePruneCached(ctx context.Context, tr *obs.Trace, rc *runCache, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
 	stats := newPruneStats(len(cands))
 	kept := make([]*Candidate, 0, len(cands))
 	type verdict struct {
@@ -101,7 +105,7 @@ func OfflinePruneCtx(ctx context.Context, tr *obs.Trace, cands []*Candidate, opt
 	verdicts := make([]verdict, len(cands))
 	parallelForCtx(ctx, len(cands), 0, func(i int) {
 		c := cands[i]
-		enc, err := c.Enc()
+		enc, err := rc.enc(c)
 		if err != nil {
 			verdicts[i] = verdict{err: err}
 			return
@@ -160,6 +164,10 @@ func OnlinePruneTraced(tr *obs.Trace, t, o *bins.Encoded, cands []*Candidate, op
 // (FD tests, relevance tests, permutation nulls) stops dispatching work once
 // ctx is done and the call returns an error wrapping ctx.Err().
 func OnlinePruneCtx(ctx context.Context, tr *obs.Trace, t, o *bins.Encoded, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
+	return onlinePruneCached(ctx, tr, newRunCache(tr), t, o, cands, opts)
+}
+
+func onlinePruneCached(ctx context.Context, tr *obs.Trace, rc *runCache, t, o *bins.Encoded, cands []*Candidate, opts PruneOptions) ([]*Candidate, PruneStats, error) {
 	stats := newPruneStats(len(cands))
 	type verdict struct {
 		keep   bool
@@ -171,15 +179,22 @@ func OnlinePruneCtx(ctx context.Context, tr *obs.Trace, t, o *bins.Encoded, cand
 	ho := infotheory.Entropy(o, nil)
 	parallelForCtx(ctx, len(cands), 0, func(i int) {
 		c := cands[i]
-		enc, err := c.Enc()
+		enc, err := rc.enc(c)
 		if err != nil {
 			verdicts[i] = verdict{err: err}
 			return
 		}
-		w := weightsFor(c, enc)
-		// One counting pass yields the relevance and both approximate-FD
-		// ratios (Lemma A.2): E ⇒ T or E ⇒ O fakes a perfect explanation.
-		_, hOgivenE, hTgivenE := infotheory.Screen(o, t, enc, w)
+		w, err := rc.weights(c)
+		if err != nil {
+			verdicts[i] = verdict{err: err}
+			return
+		}
+		// One fused counting pass yields both approximate-FD
+		// ratios (Lemma A.2: E ⇒ T or E ⇒ O fakes a perfect explanation)
+		// and the contingency tallies of both low-relevance tests.
+		sc := infotheory.ScreenAll(o, t, enc, w)
+		defer sc.Release()
+		hOgivenE, hTgivenE := sc.FDEntropies()
 		if (ht > 0 && hTgivenE/ht < opts.FDThreshold) || (ho > 0 && hOgivenE/ho < opts.FDThreshold) {
 			verdicts[i] = verdict{reason: PruneFD}
 			return
@@ -187,9 +202,9 @@ func OnlinePruneCtx(ctx context.Context, tr *obs.Trace, t, o *bins.Encoded, cand
 		// Low relevance: (O ⊥ E | C) and (O ⊥ E | C, T). The conditional
 		// test is only needed when the (cheaper) marginal one fired.
 		tr.Add(obs.CITests, 1)
-		if infotheory.CondIndependent(o, enc, nil, w, opts.RelevanceThreshold) {
+		if sc.MarginalIndependent(opts.RelevanceThreshold) {
 			tr.Add(obs.CITests, 1)
-			if infotheory.CondIndependent(o, enc, []infotheory.Var{t}, w, opts.RelevanceThreshold) {
+			if sc.CondIndependentGivenT(opts.RelevanceThreshold) {
 				verdicts[i] = verdict{reason: PruneIrrelevant}
 				return
 			}
@@ -209,7 +224,11 @@ func OnlinePruneCtx(ctx context.Context, tr *obs.Trace, t, o *bins.Encoded, cand
 				if c.Permute == nil || enc.Len() > permBudget(opts) {
 					dependent = true // cannot test affordably; keep
 				} else {
-					dependent = permDependent(ctx, tr, o, c, enc, nil, b, 0, 1, 0x5eed+uint64(i))
+					dependent, err = permDependent(ctx, tr, o, c, enc, nil, 0, b, 0, 1, 0x5eed+uint64(i))
+					if err != nil {
+						verdicts[i] = verdict{err: err}
+						return
+					}
 				}
 			}
 			if !dependent {

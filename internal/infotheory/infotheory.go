@@ -458,8 +458,13 @@ func NormalizedCMI(x, y Var, given []Var, w []float64) float64 {
 // efficient CI test used as the responsibility test (Lemma 4.2) and for
 // pruning.
 func CondIndependent(x, y Var, given []Var, w []float64, threshold float64) bool {
-	s := cmi(x, y, given, w)
-	d := debiasedMI(s, w != nil)
+	return condIndependentStats(cmi(x, y, given, w), w != nil, threshold)
+}
+
+// condIndependentStats is the verdict half of CondIndependent, shared with
+// the fused online-prune screen so both paths threshold identically.
+func condIndependentStats(s cmiStats, weighted bool, threshold float64) bool {
+	d := debiasedMI(s, weighted)
 	if d == 0 {
 		return true
 	}

@@ -79,6 +79,21 @@ const (
 	// waiters on an in-flight extraction count as hits too).
 	ExtractCacheHits   = "extract_cache_hits"
 	ExtractCacheMisses = "extract_cache_misses"
+	// EncCacheHits counts repeat Candidate.Enc/Weights lookups served by the
+	// per-run memo cache in core (every phase after the first to touch a
+	// candidate hits instead of re-encoding).
+	EncCacheHits = "enc_cache_hits"
+	// CompositeRebuilds counts rebuilds of the pre-joined conditioning-set
+	// variable (once per accepted MCIMR attribute, plus one per subgroup
+	// search with a multi-attribute explanation).
+	CompositeRebuilds = "composite_rebuilds"
+	// SpeculativeEvals / SpeculativeWins count candidates evaluated by the
+	// speculative consider-loop batches of MCIMR, and how many of those
+	// speculative (non-argmin) evaluations were actually consumed by the
+	// serial-order scan. Evals minus consumed results is wasted work traded
+	// for parallelism.
+	SpeculativeEvals = "speculative_evals"
+	SpeculativeWins  = "speculative_wins"
 )
 
 // PrunedCounter names the per-rule prune counter, e.g.

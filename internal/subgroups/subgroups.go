@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"nexus/internal/bins"
@@ -131,6 +132,20 @@ func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*b
 	sp := opts.Trace.Start("subgroup-search")
 	defer sp.End()
 
+	// Fold a multi-attribute explanation into one pre-joined composite
+	// (infotheory.JoinVars): every scored lattice node conditions on the same
+	// explanation, so the per-node estimator joins 2 columns instead of
+	// len(explanation)+1. The row partition — and hence every score — is
+	// identical.
+	if len(explanation) > 1 {
+		vars := make([]infotheory.Var, len(explanation))
+		for i, e := range explanation {
+			vars[i] = e
+		}
+		explanation = []*bins.Encoded{infotheory.JoinVars("explanation", vars...)}
+		opts.Trace.Add(obs.CompositeRebuilds, 1)
+	}
+
 	var stats Stats
 	h := &groupHeap{}
 	heap.Init(h)
@@ -186,7 +201,9 @@ func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*b
 
 // pushChildren generates the children of g: refinements extending it with
 // one assignment of an attribute whose index exceeds the last used index
-// (so every lattice node is generated exactly once).
+// (so every lattice node is generated exactly once). Children are pushed in
+// ascending code order — a map-ordered push would make the heap's tie
+// handling, and with it the traversal, vary between runs.
 func pushChildren(h *groupHeap, g Group, attrs []RefinementAttr, opts Options, stats *Stats) {
 	startAttr := 0
 	if len(g.Conds) > 0 {
@@ -196,14 +213,20 @@ func pushChildren(h *groupHeap, g Group, attrs []RefinementAttr, opts Options, s
 		enc := attrs[ai].Enc
 		// Partition g's rows by the attribute's codes.
 		parts := make(map[int32][]int)
+		codes := make([]int32, 0, len(parts))
 		for _, r := range g.Rows {
 			c := enc.Codes[r]
 			if c == bins.Missing {
 				continue
 			}
+			if parts[c] == nil {
+				codes = append(codes, c)
+			}
 			parts[c] = append(parts[c], r)
 		}
-		for code, rows := range parts {
+		sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+		for _, code := range codes {
+			rows := parts[code]
 			if len(rows) < opts.MinSize || len(rows) == g.Size {
 				// Too small, or the assignment does not refine (constant
 				// within the group).
@@ -245,11 +268,31 @@ func scoreGroup(t, o *bins.Encoded, explanation []*bins.Encoded, rows []int, bas
 	return infotheory.CondMutualInfoDebiased(o, t, explanation, scratch)
 }
 
-// groupHeap is a max-heap of groups by size.
+// groupHeap is a max-heap of groups by size. Ties are broken on a total
+// order — depth, then the (AttrIdx, Code) condition sequence — so the pop
+// order, and therefore TopUnexplained's output, is identical across runs
+// even when many groups share a size (container/heap is not stable).
 type groupHeap []Group
 
-func (h groupHeap) Len() int            { return len(h) }
-func (h groupHeap) Less(i, j int) bool  { return h[i].Size > h[j].Size }
+func (h groupHeap) Len() int { return len(h) }
+func (h groupHeap) Less(i, j int) bool {
+	if h[i].Size != h[j].Size {
+		return h[i].Size > h[j].Size
+	}
+	ci, cj := h[i].Conds, h[j].Conds
+	if len(ci) != len(cj) {
+		return len(ci) < len(cj) // shallower refinements first
+	}
+	for k := range ci {
+		if ci[k].AttrIdx != cj[k].AttrIdx {
+			return ci[k].AttrIdx < cj[k].AttrIdx
+		}
+		if ci[k].Code != cj[k].Code {
+			return ci[k].Code < cj[k].Code
+		}
+	}
+	return false
+}
 func (h groupHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *groupHeap) Push(x interface{}) { *h = append(*h, x.(Group)) }
 func (h *groupHeap) Pop() interface{} {

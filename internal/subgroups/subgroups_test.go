@@ -172,6 +172,76 @@ func TestTopUnexplainedLengthMismatch(t *testing.T) {
 	}
 }
 
+func TestTopUnexplainedDeterministic(t *testing.T) {
+	// Tie-heavy lattice: every refinement attribute splits the rows into
+	// equal-size parts, so the heap holds many groups of identical size and
+	// any order-dependence — map iteration in pushChildren, unstable heap
+	// tie handling — surfaces as run-to-run output drift. The explanation
+	// is deliberately weak (most groups qualify) and has two attributes, so
+	// the pre-joined composite path is exercised too.
+	n := 4800
+	tv := make([]string, n)
+	ov := make([]string, n)
+	z1 := make([]string, n)
+	z2 := make([]string, n)
+	a1 := make([]string, n)
+	a2 := make([]string, n)
+	a3 := make([]string, n)
+	for i := 0; i < n; i++ {
+		c := i % 4
+		tv[i] = fmt.Sprintf("t%d", c)
+		oc := c
+		if i%5 == 0 {
+			oc = (c + 1) % 4
+		}
+		ov[i] = fmt.Sprintf("o%d", oc)
+		z1[i] = fmt.Sprintf("z%d", (i/100)%2)
+		z2[i] = fmt.Sprintf("y%d", (i/300)%3)
+		a1[i] = fmt.Sprintf("a%d", i%4)      // four parts of 1200
+		a2[i] = fmt.Sprintf("b%d", (i/4)%4)  // four parts of 1200
+		a3[i] = fmt.Sprintf("c%d", (i/16)%3) // three parts of 1600
+	}
+	mk := func(name string, vals []string) *bins.Encoded {
+		e, err := bins.Encode(table.NewStringColumn(name, vals), bins.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	te, oe := mk("T", tv), mk("O", ov)
+	expl := []*bins.Encoded{mk("Z1", z1), mk("Z2", z2)}
+	attrs := []RefinementAttr{
+		{Name: "a1", Enc: mk("a1", a1)},
+		{Name: "a2", Enc: mk("a2", a2)},
+		{Name: "a3", Enc: mk("a3", a3)},
+	}
+	render := func(groups []Group, st Stats) string {
+		var b strings.Builder
+		for _, g := range groups {
+			fmt.Fprintf(&b, "%s|%d|%.17g\n", g.String(), g.Size, g.Score)
+		}
+		fmt.Fprintf(&b, "explored=%d pushed=%d", st.Explored, st.Pushed)
+		return b.String()
+	}
+	var first string
+	for run := 0; run < 10; run++ {
+		groups, st, err := TopUnexplained(te, oe, expl, attrs, Options{K: 6, Tau: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = render(groups, st)
+			if len(groups) == 0 {
+				t.Fatal("fixture produced no qualifying groups; ties not exercised")
+			}
+			continue
+		}
+		if s := render(groups, st); s != first {
+			t.Fatalf("run %d output differs:\n%s\n--- vs first run ---\n%s", run, s, first)
+		}
+	}
+}
+
 func TestIsAncestorOf(t *testing.T) {
 	a := Group{Conds: []Assignment{{AttrIdx: 0, Code: 1}}}
 	b := Group{Conds: []Assignment{{AttrIdx: 0, Code: 1}, {AttrIdx: 1, Code: 2}}}
