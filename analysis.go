@@ -182,12 +182,12 @@ func (s *Session) PrepareQueryCtx(ctx context.Context, q *sqlx.Query) (*Analysis
 	// graph-walk pass runs once per dataset context (singleflight); repeat
 	// and concurrent requests share the cached Extraction, including its
 	// per-attribute encoding caches.
-	if s.graph != nil {
+	if s.src != nil {
 		links := s.linkColumnsIn(q.Table, res.View)
 		if len(links) > 0 {
 			ksp := tr.Start("kg-extract")
 			ex, hit, err := s.opts.ExtractCache.get(ctx, extractionKey(q, links, s.opts.Hops), func() (*extract.Extraction, error) {
-				return extract.ExtractCtx(ctx, res.View, links, s.graph, s.linker, extract.Options{
+				return extract.ExtractCtx(ctx, res.View, links, s.src, s.linker, extract.Options{
 					Hops:      s.opts.Hops,
 					OneToMany: s.opts.OneToMany,
 					Trace:     tr,

@@ -1,0 +1,98 @@
+package nexus_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"nexus/internal/kg"
+	"nexus/internal/kgremote"
+	"nexus/internal/kgserve"
+	"nexus/internal/obs"
+)
+
+// benchKGBackend is one backend's record in BENCH_kg.json.
+type benchKGBackend struct {
+	PrepareNS    int64 `json:"prepare_ns"`
+	HTTPRequests int64 `json:"http_requests,omitempty"`
+	CacheHits    int64 `json:"cache_hits,omitempty"`
+	CacheMisses  int64 `json:"cache_misses,omitempty"`
+}
+
+// benchKGEntry is the whole BENCH_kg.json document.
+type benchKGEntry struct {
+	Query         string         `json:"query"`
+	Rows          int            `json:"rows"`
+	Hops          int            `json:"hops"`
+	InMemory      benchKGBackend `json:"in_memory"`
+	RemoteBatched benchKGBackend `json:"remote_batched"`
+	RemoteNaive   benchKGBackend `json:"remote_naive"`
+}
+
+// TestBenchKGJSON profiles the flights extraction against the three KG
+// backends — in-process graph, remote with per-hop batching, and remote
+// with batching and caching disabled (one request per item, the naive
+// pointer-chasing shape) — and writes the comparison to BENCH_kg.json.
+// Like TestBenchObsJSON, it is a machine-readable profile for tracking the
+// performance shape across commits, not a pass/fail benchmark; the one
+// hard assertion is the batching ratio, which is the point of the design.
+func TestBenchKGJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping profile emission in -short mode")
+	}
+	w := integrationWorld()
+	prepare := func(src kg.Source) (time.Duration, int) {
+		sess := flightsSession(w, src, nil)
+		start := time.Now()
+		a, err := sess.Prepare(flightsQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), a.View.NumRows()
+	}
+
+	entry := benchKGEntry{Query: flightsQuery, Hops: 1}
+	d, rows := prepare(w.Graph)
+	entry.InMemory = benchKGBackend{PrepareNS: d.Nanoseconds()}
+	entry.Rows = rows
+
+	remote := func(copts kgremote.Options) benchKGBackend {
+		srv := kgserve.New(kgserve.Config{Source: w.Graph})
+		hs := httptest.NewServer(srv.Handler())
+		defer hs.Close()
+		counters := obs.NewCounters()
+		copts.HTTPClient = hs.Client()
+		copts.Counters = counters
+		d, _ := prepare(kgremote.New(hs.URL, copts))
+		return benchKGBackend{
+			PrepareNS:    d.Nanoseconds(),
+			HTTPRequests: counters.Get(obs.KGHTTPRequests),
+			CacheHits:    counters.Get(obs.KGCacheHits),
+			CacheMisses:  counters.Get(obs.KGCacheMisses),
+		}
+	}
+	entry.RemoteBatched = remote(kgremote.Options{})
+	entry.RemoteNaive = remote(kgremote.Options{BatchSize: 1, MaxInflight: 8, CacheSize: -1})
+
+	buf, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_kg.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The design claim: batching collapses per-item requests into per-hop
+	// requests. Anything under a 10× reduction means batching regressed.
+	if entry.RemoteNaive.HTTPRequests < 10*entry.RemoteBatched.HTTPRequests {
+		t.Errorf("naive backend used %d requests vs %d batched — batching regressed",
+			entry.RemoteNaive.HTTPRequests, entry.RemoteBatched.HTTPRequests)
+	}
+	t.Logf("requests: batched %d, naive %d; prepare: in-memory %v, batched %v, naive %v",
+		entry.RemoteBatched.HTTPRequests, entry.RemoteNaive.HTTPRequests,
+		time.Duration(entry.InMemory.PrepareNS), time.Duration(entry.RemoteBatched.PrepareNS),
+		time.Duration(entry.RemoteNaive.PrepareNS))
+}

@@ -1,0 +1,105 @@
+package nexus
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"nexus/internal/extract"
+	"nexus/internal/obs"
+)
+
+// TestExtractionCacheEvictsFailures is the regression test for the
+// failure-eviction behavior: a failed extraction (canonically, the
+// extracting request got cancelled, or a remote KG backend was
+// unreachable) must not be cached, so the next request over the same key
+// retries instead of replaying the stale error forever.
+func TestExtractionCacheEvictsFailures(t *testing.T) {
+	ctx := context.Background()
+	c := NewExtractionCache(nil)
+	boom := errors.New("kg backend unreachable")
+	calls := 0
+
+	_, hit, err := c.get(ctx, "k", func() (*extract.Extraction, error) {
+		calls++
+		return nil, boom
+	})
+	if !errors.Is(err, boom) || hit {
+		t.Fatalf("first get: hit=%v err=%v", hit, err)
+	}
+
+	// The failed entry must be gone: the next get runs fn again and, now
+	// that the backend recovered, caches the success.
+	want := &extract.Extraction{}
+	ex, hit, err := c.get(ctx, "k", func() (*extract.Extraction, error) {
+		calls++
+		return want, nil
+	})
+	if err != nil || hit || ex != want {
+		t.Fatalf("retry after failure: ex=%p hit=%v err=%v", ex, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2 (failure evicted, success retried)", calls)
+	}
+
+	// The success stays cached.
+	ex, hit, err = c.get(ctx, "k", func() (*extract.Extraction, error) {
+		calls++
+		return nil, errors.New("should not run")
+	})
+	if err != nil || !hit || ex != want || calls != 2 {
+		t.Fatalf("cached success: ex=%p hit=%v err=%v calls=%d", ex, hit, err, calls)
+	}
+}
+
+// TestExtractionCacheFailureUnblocksWaiters pins the singleflight half of
+// the same property: concurrent waiters on a failing extraction all
+// receive the error, and the key is still evicted afterwards.
+func TestExtractionCacheFailureUnblocksWaiters(t *testing.T) {
+	ctx := context.Background()
+	c := NewExtractionCache(obs.NewCounters())
+	boom := errors.New("transient")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.get(ctx, "k", func() (*extract.Extraction, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, hit, err := c.get(ctx, "k", func() (*extract.Extraction, error) {
+			return nil, errors.New("waiter must not extract")
+		})
+		if !hit || !errors.Is(err, boom) {
+			t.Errorf("waiter: hit=%v err=%v", hit, err)
+		}
+	}()
+	// Hold the extraction open until the waiter has joined it (the hit
+	// counter increments before the waiter blocks on done), so the waiter
+	// cannot arrive after eviction and start its own extraction.
+	for c.Hits() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	// Key evicted: a fresh get extracts again.
+	_, hit, err := c.get(ctx, "k", func() (*extract.Extraction, error) {
+		return &extract.Extraction{}, nil
+	})
+	if hit || err != nil {
+		t.Fatalf("post-failure get: hit=%v err=%v", hit, err)
+	}
+}

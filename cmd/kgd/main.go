@@ -1,0 +1,89 @@
+// Command kgd serves a knowledge graph over HTTP using the kgwire
+// protocol, so nexus and nexusd can extract against a remote graph
+// (-kg http://host:port) instead of an in-process one.
+//
+//	POST /kg/v1/resolve      batch entity resolution
+//	POST /kg/v1/entities     batch entity records
+//	POST /kg/v1/properties   batch property maps
+//	POST /kg/v1/class-props  class property universe
+//	GET  /kg/v1/stats        per-endpoint request counters
+//	GET  /healthz            liveness (never fault-injected)
+//
+// Usage:
+//
+//	kgd -seed 11 -addr :7070
+//	kgd -seed 11 -addr :7070 -fail-rate 0.2 -latency 5ms   # resilience testing
+//
+// -fail-rate injects deterministic (seeded) HTTP 500s and -latency adds a
+// fixed delay per request, to exercise the client's retry and batching
+// under realistic network behavior. See docs/API.md for the wire protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nexus/internal/kg"
+	"nexus/internal/kgserve"
+)
+
+func main() {
+	err := run(os.Args[1:])
+	if err == flag.ErrHelp {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kgd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kgd", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		addr         = fs.String("addr", ":7070", "listen address")
+		seed         = fs.Uint64("seed", 11, "world seed (must match the client's -seed for name-identical graphs)")
+		failRate     = fs.Float64("fail-rate", 0, "probability of rejecting a request with HTTP 500 (fault injection)")
+		latency      = fs.Duration("latency", 0, "artificial delay per request (fault injection)")
+		faultSeed    = fs.Uint64("fault-seed", 1, "RNG seed for fault injection")
+		maxBatch     = fs.Int("max-batch", 65536, "reject larger batch requests with 400")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *failRate < 0 || *failRate >= 1 {
+		return fmt.Errorf("-fail-rate must be in [0,1), got %g", *failRate)
+	}
+
+	log.Printf("generating knowledge graph (seed %d)...", *seed)
+	world := kg.NewWorld(kg.WorldConfig{Seed: *seed})
+	log.Printf("graph ready: %d entities, %d triples", world.Graph.NumEntities(), world.Graph.NumTriples())
+	if *failRate > 0 || *latency > 0 {
+		log.Printf("fault injection: fail-rate %g, latency %s (seed %d)", *failRate, *latency, *faultSeed)
+	}
+
+	srv := kgserve.New(kgserve.Config{
+		Source:   world.Graph,
+		FailRate: *failRate,
+		Latency:  *latency,
+		Seed:     *faultSeed,
+		MaxBatch: *maxBatch,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr, *drainTimeout); err != nil {
+		return err
+	}
+	log.Printf("drained, bye")
+	return nil
+}

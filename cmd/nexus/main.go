@@ -26,6 +26,7 @@ import (
 
 	"nexus"
 	"nexus/internal/kg"
+	"nexus/internal/kgremote"
 	"nexus/internal/obs"
 	"nexus/internal/table"
 	"nexus/internal/workload"
@@ -56,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		links     = fs.String("links", "", "comma-separated link columns for -csv")
 		sql       = fs.String("sql", "", "aggregate query to explain (required)")
 		seed      = fs.Uint64("seed", 11, "world seed")
+		kgURL     = fs.String("kg", "", "remote knowledge-graph server URL (cmd/kgd), e.g. http://localhost:7070; default in-process graph")
 		hops      = fs.Int("hops", 1, "KG extraction depth")
 		subgroups = fs.Int("subgroups", 0, "also report the top-k unexplained subgroups")
 		noIPW     = fs.Bool("no-ipw", false, "disable selection-bias detection and IPW")
@@ -88,7 +90,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	wsp := tr.Start("world-gen")
 	world := kg.NewWorld(kg.WorldConfig{Seed: *seed})
 	wsp.End()
-	sess := nexus.NewSession(world.Graph, &nexus.Options{Hops: *hops, DisableIPW: *noIPW, Trace: tr})
+	// The local world is always generated — the synthetic datasets sample
+	// its entities — but with -kg the extraction backend is the remote
+	// server (which must run with the same -seed for identical results).
+	var src kg.Source = world.Graph
+	if *kgURL != "" {
+		fmt.Fprintf(stdout, "using remote knowledge graph at %s\n", *kgURL)
+		src = kgremote.New(*kgURL, kgremote.Options{Counters: tr.Counters()})
+	}
+	sess := nexus.NewSessionFromSource(src, &nexus.Options{Hops: *hops, DisableIPW: *noIPW, Trace: tr})
 
 	lsp := tr.Start("load-dataset")
 	switch {

@@ -30,6 +30,7 @@ import (
 
 	"nexus"
 	"nexus/internal/kg"
+	"nexus/internal/kgremote"
 	"nexus/internal/obs"
 	"nexus/internal/server"
 	"nexus/internal/table"
@@ -58,6 +59,7 @@ func run(args []string) error {
 		tableName    = fs.String("table", "data", "table name for -csv")
 		links        = fs.String("links", "", "comma-separated link columns for -csv")
 		seed         = fs.Uint64("seed", 11, "world seed")
+		kgURL        = fs.String("kg", "", "remote knowledge-graph server URL (cmd/kgd), e.g. http://localhost:7070; default in-process graph")
 		hops         = fs.Int("hops", 1, "KG extraction depth")
 		noIPW        = fs.Bool("no-ipw", false, "disable selection-bias detection and IPW")
 		workers      = fs.Int("workers", 0, "concurrent explanations (0 = GOMAXPROCS, capped at 8)")
@@ -73,7 +75,15 @@ func run(args []string) error {
 	metrics := obs.NewCounters()
 	log.Printf("generating knowledge graph (seed %d)...", *seed)
 	world := kg.NewWorld(kg.WorldConfig{Seed: *seed})
-	sess := nexus.NewSession(world.Graph, &nexus.Options{
+	// The local world is always generated — the synthetic datasets sample
+	// its entities — but with -kg the extraction backend is the remote kgd
+	// server (which must run with the same -seed for identical results).
+	var src kg.Source = world.Graph
+	if *kgURL != "" {
+		log.Printf("using remote knowledge graph at %s", *kgURL)
+		src = kgremote.New(*kgURL, kgremote.Options{Counters: metrics})
+	}
+	sess := nexus.NewSessionFromSource(src, &nexus.Options{
 		Hops:       *hops,
 		DisableIPW: *noIPW,
 		// One cache per daemon: concurrent requests over the same dataset

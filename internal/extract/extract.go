@@ -185,8 +185,8 @@ func (e *Extraction) Table() (*table.Table, error) {
 // Extract mines attributes for the entities referenced by linkCols of base.
 // It is ExtractCtx with a background context (extraction cannot be
 // cancelled).
-func Extract(base *table.Table, linkCols []string, g *kg.Graph, linker *ned.Linker, opts Options) (*Extraction, error) {
-	return ExtractCtx(context.Background(), base, linkCols, g, linker, opts)
+func Extract(base *table.Table, linkCols []string, src kg.Source, linker *ned.Linker, opts Options) (*Extraction, error) {
+	return ExtractCtx(context.Background(), base, linkCols, src, linker, opts)
 }
 
 // ExtractCtx mines attributes for the entities referenced by linkCols of
@@ -194,8 +194,15 @@ func Extract(base *table.Table, linkCols []string, g *kg.Graph, linker *ned.Link
 // cancellation between slots, so a deadline or a disconnected client stops
 // the walk promptly. On cancellation the returned error wraps ctx.Err().
 // Concurrent calls are safe as long as the linker's aliases are no longer
-// being registered (linking uses the stateless ned.Linker.Resolve).
-func ExtractCtx(ctx context.Context, base *table.Table, linkCols []string, g *kg.Graph, linker *ned.Linker, opts Options) (*Extraction, error) {
+// being registered (linking uses the stateless ned.Linker.ResolveBatch).
+//
+// The source may be any kg.Source. A backend that also implements the local
+// accessor surface (notably the in-memory *kg.Graph) is walked in place;
+// any other backend — a remote graph — is first snapshotted with per-hop
+// batched fetches (one GetProperties plus one Entities round trip per hop
+// frontier per link column, and one Resolve round trip per link column), so
+// remote extraction costs O(hops) round trips instead of O(entities).
+func ExtractCtx(ctx context.Context, base *table.Table, linkCols []string, src kg.Source, linker *ned.Linker, opts Options) (*Extraction, error) {
 	if opts.Hops <= 0 {
 		opts.Hops = 1
 	}
@@ -210,7 +217,7 @@ func ExtractCtx(ctx context.Context, base *table.Table, linkCols []string, g *kg
 		if col.Typ != table.String {
 			return nil, fmt.Errorf("extract: link column %q must be a string column", lc)
 		}
-		attrs, err := extractColumn(ctx, base, col, g, linker, opts, res)
+		attrs, err := extractColumn(ctx, base, col, src, linker, opts, res)
 		if err != nil {
 			return nil, err
 		}
@@ -239,19 +246,31 @@ func ExtractCtx(ctx context.Context, base *table.Table, linkCols []string, g *kg
 // within microseconds, rare enough that the atomic load in ctx.Err is free.
 const cancelCheckStride = 256
 
-func extractColumn(ctx context.Context, base *table.Table, col *table.Column, g *kg.Graph, linker *ned.Linker, opts Options, res *Extraction) ([]*Attribute, error) {
+// graphView is the local accessor surface the flattening walk reads. The
+// in-memory *kg.Graph satisfies it natively; remote sources are first
+// snapshotted into one (prefetchView) with per-hop batched fetches. Keeping
+// the walk itself backend-agnostic is what guarantees a remote extraction
+// is byte-identical to an in-memory one: both run the exact same
+// flattening code, only the data transport differs.
+type graphView interface {
+	Properties(id kg.EntityID) []string
+	Values(id kg.EntityID, prop string) []kg.Value
+	Value(id kg.EntityID, prop string) (kg.Value, bool)
+	Entity(id kg.EntityID) kg.Entity
+}
+
+func extractColumn(ctx context.Context, base *table.Table, col *table.Column, src kg.Source, linker *ned.Linker, opts Options, res *Extraction) ([]*Attribute, error) {
 	n := col.Len()
 
-	// Slot per distinct value; resolve each once. Outcome statistics are
-	// counted locally (not on the linker) so concurrent extractions over a
-	// shared linker do not race.
+	// Slot per distinct value; resolve each once, in one batched backend
+	// round trip. Outcome statistics are counted locally (not on the
+	// linker) so concurrent extractions over a shared linker do not race.
 	var nsp *obs.Span
 	if opts.Trace != nil {
 		nsp = opts.Trace.Start("ned " + col.Name)
 	}
-	var st ned.Stats
 	slotOf := make(map[string]int32)
-	var slotEnt []kg.EntityID // entity per slot, -1 when unresolved
+	var slotVals []string // distinct values in first-appearance order
 	rowSlot := make([]int32, n)
 	for i := 0; i < n; i++ {
 		if i%cancelCheckStride == 0 && ctx.Err() != nil {
@@ -265,22 +284,31 @@ func extractColumn(ctx context.Context, base *table.Table, col *table.Column, g 
 		v := col.StringAt(i)
 		s, ok := slotOf[v]
 		if !ok {
-			s = int32(len(slotEnt))
+			s = int32(len(slotVals))
 			slotOf[v] = s
-			id, out := linker.Resolve(v)
-			switch out {
-			case ned.Linked:
-				st.Linked++
-				slotEnt = append(slotEnt, id)
-			case ned.Unlinked:
-				st.Unlinked++
-				slotEnt = append(slotEnt, -1)
-			case ned.Ambiguous:
-				st.Ambiguous++
-				slotEnt = append(slotEnt, -1)
-			}
+			slotVals = append(slotVals, v)
 		}
 		rowSlot[i] = s
+	}
+	resolved, err := linker.ResolveBatch(ctx, slotVals)
+	if err != nil {
+		nsp.End()
+		return nil, fmt.Errorf("extract: entity linking %q: %w", col.Name, err)
+	}
+	var st ned.Stats
+	slotEnt := make([]kg.EntityID, len(resolved)) // entity per slot, -1 unresolved
+	for s, r := range resolved {
+		switch r.Outcome {
+		case ned.Linked:
+			st.Linked++
+			slotEnt[s] = r.ID
+		case ned.Unlinked:
+			st.Unlinked++
+			slotEnt[s] = -1
+		case ned.Ambiguous:
+			st.Ambiguous++
+			slotEnt[s] = -1
+		}
 	}
 	res.LinkStats[col.Name] = st
 	st.Record(opts.Trace)
@@ -289,6 +317,25 @@ func extractColumn(ctx context.Context, base *table.Table, col *table.Column, g 
 	nsp.SetInt("unlinked", int64(st.Unlinked))
 	nsp.SetInt("ambiguous", int64(st.Ambiguous))
 	nsp.End()
+
+	// Materialize a local view of everything the walk will touch. Local
+	// backends are walked in place (zero copies); remote backends are
+	// snapshotted with one batched fetch round per hop.
+	gv, ok := src.(graphView)
+	if !ok {
+		var psp *obs.Span
+		if opts.Trace != nil {
+			psp = opts.Trace.Start("kg-prefetch " + col.Name)
+		}
+		snap, err := prefetchView(ctx, src, slotEnt, opts.Hops)
+		if err != nil {
+			psp.End()
+			return nil, fmt.Errorf("extract: kg prefetch %q: %w", col.Name, err)
+		}
+		psp.SetInt("entities", int64(len(snap.props)))
+		psp.End()
+		gv = snap
+	}
 
 	// Flatten properties per slot into attribute builders.
 	var wsp *obs.Span
@@ -304,7 +351,7 @@ func extractColumn(ctx context.Context, base *table.Table, col *table.Column, g 
 		if ent < 0 {
 			continue
 		}
-		walkEntity(g, ent, "", 1, opts, b, s)
+		walkEntity(gv, ent, "", 1, opts, b, s)
 	}
 	attrs := b.build(col.Name, rowSlot)
 	wsp.SetInt("hops", int64(opts.Hops))
@@ -313,9 +360,114 @@ func extractColumn(ctx context.Context, base *table.Table, col *table.Column, g 
 	return attrs, nil
 }
 
+// snapshotView is the prefetched neighborhood of one link column's
+// entities: property maps plus the entity records referenced by
+// single-valued entity properties. It implements graphView over in-process
+// maps, so the walk never touches the network.
+type snapshotView struct {
+	props  map[kg.EntityID]kg.Props
+	sorted map[kg.EntityID][]string
+	ents   map[kg.EntityID]kg.Entity
+}
+
+func (s *snapshotView) Properties(id kg.EntityID) []string { return s.sorted[id] }
+
+func (s *snapshotView) Values(id kg.EntityID, prop string) []kg.Value { return s.props[id][prop] }
+
+func (s *snapshotView) Value(id kg.EntityID, prop string) (kg.Value, bool) {
+	vs := s.props[id][prop]
+	if len(vs) != 1 {
+		return kg.Value{}, false
+	}
+	return vs[0], true
+}
+
+func (s *snapshotView) Entity(id kg.EntityID) kg.Entity { return s.ents[id] }
+
+// prefetchView fetches, hop frontier by hop frontier, every property map
+// and entity name the flattening walk can reach from roots within hops.
+// Each hop costs one batched GetProperties call (the frontier's property
+// maps) and one batched Entities call (names of newly referenced
+// entities), independent of the frontier's size — the backend client is
+// free to split oversized batches and fetch chunks concurrently.
+func prefetchView(ctx context.Context, src kg.Source, roots []kg.EntityID, hops int) (*snapshotView, error) {
+	snap := &snapshotView{
+		props:  make(map[kg.EntityID]kg.Props),
+		sorted: make(map[kg.EntityID][]string),
+		ents:   make(map[kg.EntityID]kg.Entity),
+	}
+	frontier := make([]kg.EntityID, 0, len(roots))
+	seen := make(map[kg.EntityID]bool)
+	for _, id := range roots {
+		if id >= 0 && !seen[id] {
+			seen[id] = true
+			frontier = append(frontier, id)
+		}
+	}
+	for depth := 1; depth <= hops && len(frontier) > 0; depth++ {
+		props, err := src.GetProperties(ctx, frontier, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(props) != len(frontier) {
+			return nil, fmt.Errorf("extract: backend returned %d property maps, want %d", len(props), len(frontier))
+		}
+		var nameIDs, next []kg.EntityID
+		nameSeen := make(map[kg.EntityID]bool)
+		nextSeen := make(map[kg.EntityID]bool)
+		for i, id := range frontier {
+			m := props[i]
+			names := make([]string, 0, len(m))
+			for p := range m {
+				names = append(names, p)
+			}
+			sort.Strings(names)
+			snap.props[id] = m
+			snap.sorted[id] = names
+			for _, p := range names {
+				vs := m[p]
+				for _, v := range vs {
+					if v.Kind != kg.EntValue {
+						continue
+					}
+					// Single-valued references become categorical
+					// attributes at this depth: their names are needed.
+					if len(vs) == 1 && !nameSeen[v.Ent] {
+						if _, ok := snap.ents[v.Ent]; !ok {
+							nameSeen[v.Ent] = true
+							nameIDs = append(nameIDs, v.Ent)
+						}
+					}
+					// Both single- and multi-valued reference targets are
+					// read one hop deeper (recursive walk / numeric
+					// sub-property aggregation).
+					if depth < hops && !nextSeen[v.Ent] && snap.props[v.Ent] == nil {
+						nextSeen[v.Ent] = true
+						next = append(next, v.Ent)
+					}
+				}
+			}
+		}
+		if len(nameIDs) > 0 {
+			ents, err := src.Entities(ctx, nameIDs)
+			if err != nil {
+				return nil, err
+			}
+			if len(ents) != len(nameIDs) {
+				return nil, fmt.Errorf("extract: backend returned %d entities, want %d", len(ents), len(nameIDs))
+			}
+			for i, id := range nameIDs {
+				snap.ents[id] = ents[i]
+			}
+		}
+		frontier = next
+	}
+	return snap, nil
+}
+
 // walkEntity flattens the properties of one entity into the builder set,
 // recursing through entity-valued properties up to opts.Hops.
-func walkEntity(g *kg.Graph, ent kg.EntityID, prefix string, depth int, opts Options, b *builderSet, slot int) {
+func walkEntity(g graphView, ent kg.EntityID, prefix string, depth int, opts Options, b *builderSet, slot int) {
 	for _, prop := range g.Properties(ent) {
 		vals := g.Values(ent, prop)
 		if len(vals) == 0 {
@@ -359,7 +511,7 @@ func walkEntity(g *kg.Graph, ent kg.EntityID, prefix string, depth int, opts Opt
 
 // aggEntityTargets aggregates the numeric sub-properties of a multi-valued
 // entity property ("Avg Population size of Ethnic Group").
-func aggEntityTargets(g *kg.Graph, vals []kg.Value, name string, depth int, opts Options, b *builderSet, slot int) {
+func aggEntityTargets(g graphView, vals []kg.Value, name string, depth int, opts Options, b *builderSet, slot int) {
 	subVals := make(map[string][]float64)
 	for _, v := range vals {
 		if v.Kind != kg.EntValue {

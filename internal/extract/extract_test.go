@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -244,6 +245,81 @@ func TestExtractTableMaterialization(t *testing.T) {
 	}
 	if tbl.NumRows() != 5 || tbl.NumCols() != len(ex.Attrs) {
 		t.Fatalf("materialized shape %d×%d", tbl.NumRows(), tbl.NumCols())
+	}
+}
+
+// opaqueSource hides the graphView methods of the wrapped source, forcing
+// extraction down the batched per-hop prefetch path a remote backend takes.
+type opaqueSource struct {
+	kg.Source
+	propCalls int
+	entCalls  int
+}
+
+func (o *opaqueSource) GetProperties(ctx context.Context, ids []kg.EntityID, props []string) ([]kg.Props, error) {
+	o.propCalls++
+	return o.Source.GetProperties(ctx, ids, props)
+}
+
+func (o *opaqueSource) Entities(ctx context.Context, ids []kg.EntityID) ([]kg.Entity, error) {
+	o.entCalls++
+	return o.Source.Entities(ctx, ids)
+}
+
+// TestExtractSnapshotParity is the bit-identity contract: extraction through
+// the per-hop prefetched snapshot must equal in-place extraction over the
+// same graph, attribute for attribute, value for value.
+func TestExtractSnapshotParity(t *testing.T) {
+	w := sharedWorld()
+	names := make([]string, 0, 30)
+	for i := 0; i < 30; i++ {
+		names = append(names, w.Countries[i%len(w.Countries)].Name)
+	}
+	tbl := table.MustFromColumns(table.NewStringColumn("Country", names))
+	for _, hops := range []int{1, 2} {
+		opts := Options{Hops: hops, OneToMany: table.AggMean}
+		direct, err := Extract(tbl, []string{"Country"}, w.Graph, ned.NewLinker(w.Graph), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := &opaqueSource{Source: w.Graph}
+		snap, err := Extract(tbl, []string{"Country"}, src, ned.NewSourceLinker(src), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := snap.Names(), direct.Names(); len(got) != len(want) {
+			t.Fatalf("hops=%d: %d attrs via snapshot, %d direct", hops, len(got), len(want))
+		}
+		for i, a := range direct.Attrs {
+			b := snap.Attrs[i]
+			if a.Name != b.Name || a.Hops != b.Hops || a.LinkColumn != b.LinkColumn {
+				t.Fatalf("hops=%d: attr %d metadata differs: %+v vs %+v", hops, i, a, b)
+			}
+			am, bm := a.Materialize(), b.Materialize()
+			for r := 0; r < am.Len(); r++ {
+				if am.IsNull(r) != bm.IsNull(r) {
+					t.Fatalf("hops=%d %s row %d: null mismatch", hops, a.Name, r)
+				}
+				if am.IsNull(r) {
+					continue
+				}
+				if am.Typ == table.Float {
+					if am.Float(r) != bm.Float(r) {
+						t.Fatalf("hops=%d %s row %d: %v != %v", hops, a.Name, r, am.Float(r), bm.Float(r))
+					}
+				} else if am.StringAt(r) != bm.StringAt(r) {
+					t.Fatalf("hops=%d %s row %d: %q != %q", hops, a.Name, r, am.StringAt(r), bm.StringAt(r))
+				}
+			}
+		}
+		// Per-hop batching: one GetProperties call per hop, at most one
+		// Entities call per hop — never one call per entity.
+		if src.propCalls != hops {
+			t.Fatalf("hops=%d: %d GetProperties calls", hops, src.propCalls)
+		}
+		if src.entCalls > hops {
+			t.Fatalf("hops=%d: %d Entities calls", hops, src.entCalls)
+		}
 	}
 }
 

@@ -70,6 +70,13 @@ type Entity struct {
 type Graph struct {
 	entities []Entity
 	byName   map[string]EntityID
+	// norm indexes entities by normalized name (≥2 entries = ambiguous);
+	// maintained incrementally so Resolve never scans.
+	norm map[string][]EntityID
+	// byClass indexes entity ids by class in insertion order; maintained
+	// incrementally so EntitiesOfClass never scans (NED indexing and the
+	// world generators call it repeatedly).
+	byClass map[string][]EntityID
 	// triples[entity][property] = values (one-to-many supported).
 	triples []map[string][]Value
 	// classProps caches the union of property names per class.
@@ -80,6 +87,8 @@ type Graph struct {
 func NewGraph() *Graph {
 	return &Graph{
 		byName:     make(map[string]EntityID),
+		norm:       make(map[string][]EntityID),
+		byClass:    make(map[string][]EntityID),
 		classProps: make(map[string]map[string]struct{}),
 	}
 }
@@ -94,6 +103,9 @@ func (g *Graph) AddEntity(name, class string) EntityID {
 	g.entities = append(g.entities, Entity{ID: id, Name: name, Class: class})
 	g.triples = append(g.triples, make(map[string][]Value))
 	g.byName[name] = id
+	key := Normalize(name)
+	g.norm[key] = append(g.norm[key], id)
+	g.byClass[class] = append(g.byClass[class], id)
 	if g.classProps[class] == nil {
 		g.classProps[class] = make(map[string]struct{})
 	}
@@ -113,15 +125,14 @@ func (g *Graph) Entity(id EntityID) Entity { return g.entities[id] }
 func (g *Graph) NumEntities() int { return len(g.entities) }
 
 // EntitiesOfClass returns the ids of all entities of the given class, in
-// insertion order.
+// insertion order. The result is served from a per-class index maintained
+// by AddEntity (no entity scan) and is a copy the caller may mutate.
 func (g *Graph) EntitiesOfClass(class string) []EntityID {
-	var out []EntityID
-	for _, e := range g.entities {
-		if e.Class == class {
-			out = append(out, e.ID)
-		}
+	ids := g.byClass[class]
+	if len(ids) == 0 {
+		return nil
 	}
-	return out
+	return append([]EntityID(nil), ids...)
 }
 
 // Set sets (replacing) the values of a property on an entity.

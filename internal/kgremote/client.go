@@ -1,0 +1,432 @@
+// Package kgremote implements kg.Source over the HTTP wire protocol of
+// package kgwire, turning any kgd server into a drop-in knowledge-graph
+// backend for extraction and NED.
+//
+// The client is built for the batched per-hop access pattern of
+// internal/extract: requests arrive as large id batches, which the client
+// splits into chunks of BatchSize and issues with at most MaxInflight
+// in-flight HTTP requests. Per-item LRU caches (entities, full property
+// maps, resolved surface forms) absorb repeat lookups across hops and
+// across extractions; hits and misses are recorded on the obs counters
+// kg_cache_hits / kg_cache_misses. Transient failures (HTTP 5xx, transport
+// errors, timeouts) are retried with exponential backoff and jitter; 4xx
+// responses are permanent and fail immediately.
+package kgremote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"nexus/internal/kg"
+	"nexus/internal/kgwire"
+	"nexus/internal/obs"
+	"nexus/internal/stats"
+)
+
+// Options configures a Client. The zero value selects sane defaults.
+type Options struct {
+	// BatchSize caps the number of items per HTTP request; larger input
+	// batches are split into concurrent chunk requests. Default 2048.
+	BatchSize int
+	// MaxInflight bounds the number of concurrent chunk requests.
+	// Default 4.
+	MaxInflight int
+	// CacheSize is the capacity of each LRU cache (entities, property
+	// maps, resolutions). Negative disables caching. Default 65536.
+	CacheSize int
+	// MaxRetries is the number of re-attempts after a retryable failure
+	// (so MaxRetries+1 attempts total). Default 3.
+	MaxRetries int
+	// RetryBase is the first backoff delay; it doubles per attempt up to
+	// RetryMax. The actual sleep is uniformly jittered over
+	// [backoff/2, backoff]. Defaults 50ms / 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Timeout bounds each individual HTTP attempt. Default 10s.
+	Timeout time.Duration
+	// Seed seeds the jitter RNG, making retry schedules reproducible.
+	// Default 1.
+	Seed uint64
+	// HTTPClient overrides the transport (tests). Default http.DefaultClient.
+	HTTPClient *http.Client
+	// Counters receives kg_cache_hits/kg_cache_misses/kg_http_requests/
+	// kg_http_retries. Nil disables recording (obs no-op convention).
+	Counters *obs.Counters
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 2048
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 65536
+	} else if o.CacheSize < 0 {
+		o.CacheSize = 0
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	return o
+}
+
+// Client is an HTTP kg.Source. Safe for concurrent use.
+type Client struct {
+	base string
+	opts Options
+
+	mu  sync.Mutex // guards rng
+	rng *stats.RNG
+
+	ents    *lru[kg.EntityID, kg.Entity]
+	props   *lru[kg.EntityID, kg.Props]
+	resolve *lru[string, kg.Link]
+}
+
+// Statically assert the Source contract.
+var _ kg.Source = (*Client)(nil)
+
+// New returns a client for the kgd server at baseURL (e.g.
+// "http://localhost:7070").
+func New(baseURL string, opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		opts:    opts,
+		rng:     stats.NewRNG(opts.Seed),
+		ents:    newLRU[kg.EntityID, kg.Entity](opts.CacheSize),
+		props:   newLRU[kg.EntityID, kg.Props](opts.CacheSize),
+		resolve: newLRU[string, kg.Link](opts.CacheSize),
+	}
+}
+
+// permanentError marks a response that must not be retried (HTTP 4xx).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// post issues one JSON request with retry/backoff, decoding the response
+// into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("kgremote: encode %s: %w", path, err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.opts.Counters.Add(obs.KGHTTPRetries, 1)
+			if err := c.backoff(ctx, attempt); err != nil {
+				return fmt.Errorf("kgremote: %s: %w (last error: %v)", path, err, lastErr)
+			}
+		}
+		c.opts.Counters.Add(obs.KGHTTPRequests, 1)
+		lastErr = c.attempt(ctx, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("kgremote: %s: %w", path, ctx.Err())
+		}
+		var perm *permanentError
+		if errors.As(lastErr, &perm) {
+			return fmt.Errorf("kgremote: %s: %w", path, perm.err)
+		}
+	}
+	return fmt.Errorf("kgremote: %s: giving up after %d attempts: %w", path, c.opts.MaxRetries+1, lastErr)
+}
+
+func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return err // transport error: retryable
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return &permanentError{err: err}
+		}
+		return err // 5xx: retryable
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return &permanentError{err: fmt.Errorf("decode response: %w", err)}
+	}
+	return nil
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt
+// (1-based), honoring context cancellation.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.opts.RetryBase << (attempt - 1)
+	if d > c.opts.RetryMax || d <= 0 {
+		d = c.opts.RetryMax
+	}
+	c.mu.Lock()
+	f := c.rng.Float64()
+	c.mu.Unlock()
+	// Uniform over [d/2, d]: keeps retries from synchronizing without
+	// collapsing the delay to zero.
+	d = d/2 + time.Duration(f*float64(d/2))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// forEachChunk runs fn over [0,n) in chunks of BatchSize with at most
+// MaxInflight concurrent calls, returning the first error (and cancelling
+// the rest).
+func (c *Client) forEachChunk(ctx context.Context, n int, fn func(ctx context.Context, lo, hi int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if n <= c.opts.BatchSize {
+		return fn(ctx, 0, n)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, c.opts.MaxInflight)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for lo := 0; lo < n; lo += c.opts.BatchSize {
+		hi := lo + c.opts.BatchSize
+		if hi > n {
+			hi = n
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			mu.Lock()
+			defer mu.Unlock()
+			if firstErr != nil {
+				return firstErr
+			}
+			return ctx.Err()
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(ctx, lo, hi); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// Resolve implements kg.Source, serving repeat surface forms from the LRU.
+func (c *Client) Resolve(ctx context.Context, values []string) ([]kg.Link, error) {
+	out := make([]kg.Link, len(values))
+	var missIdx []int
+	for i, v := range values {
+		if l, ok := c.resolve.get(v); ok {
+			out[i] = l
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	c.opts.Counters.Add(obs.KGCacheHits, int64(len(values)-len(missIdx)))
+	c.opts.Counters.Add(obs.KGCacheMisses, int64(len(missIdx)))
+	err := c.forEachChunk(ctx, len(missIdx), func(ctx context.Context, lo, hi int) error {
+		req := kgwire.ResolveRequest{Values: make([]string, hi-lo)}
+		for j, i := range missIdx[lo:hi] {
+			req.Values[j] = values[i]
+		}
+		var resp kgwire.ResolveResponse
+		if err := c.post(ctx, kgwire.PathResolve, req, &resp); err != nil {
+			return err
+		}
+		if len(resp.Links) != hi-lo {
+			return fmt.Errorf("kgremote: resolve returned %d links, want %d", len(resp.Links), hi-lo)
+		}
+		for j, i := range missIdx[lo:hi] {
+			l := resp.Links[j].ToLink()
+			out[i] = l
+			c.resolve.put(values[i], l)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Entities implements kg.Source, serving repeat ids from the LRU.
+func (c *Client) Entities(ctx context.Context, ids []kg.EntityID) ([]kg.Entity, error) {
+	out := make([]kg.Entity, len(ids))
+	var missIdx []int
+	for i, id := range ids {
+		if e, ok := c.ents.get(id); ok {
+			out[i] = e
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	c.opts.Counters.Add(obs.KGCacheHits, int64(len(ids)-len(missIdx)))
+	c.opts.Counters.Add(obs.KGCacheMisses, int64(len(missIdx)))
+	err := c.forEachChunk(ctx, len(missIdx), func(ctx context.Context, lo, hi int) error {
+		req := kgwire.EntitiesRequest{IDs: make([]int32, hi-lo)}
+		for j, i := range missIdx[lo:hi] {
+			req.IDs[j] = int32(ids[i])
+		}
+		var resp kgwire.EntitiesResponse
+		if err := c.post(ctx, kgwire.PathEntities, req, &resp); err != nil {
+			return err
+		}
+		if len(resp.Entities) != hi-lo {
+			return fmt.Errorf("kgremote: entities returned %d records, want %d", len(resp.Entities), hi-lo)
+		}
+		for j, i := range missIdx[lo:hi] {
+			e := resp.Entities[j].ToEntity()
+			out[i] = e
+			c.ents.put(ids[i], e)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetProperties implements kg.Source. Full property maps (props == nil) are
+// cached per entity; filtered requests are answered from cached full maps
+// when possible and fetched (uncached) otherwise.
+func (c *Client) GetProperties(ctx context.Context, ids []kg.EntityID, props []string) ([]kg.Props, error) {
+	out := make([]kg.Props, len(ids))
+	var missIdx []int
+	for i, id := range ids {
+		if full, ok := c.props.get(id); ok {
+			if props == nil {
+				out[i] = full
+			} else {
+				out[i] = filterProps(full, props)
+			}
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	c.opts.Counters.Add(obs.KGCacheHits, int64(len(ids)-len(missIdx)))
+	c.opts.Counters.Add(obs.KGCacheMisses, int64(len(missIdx)))
+	var wireProps []string
+	if props != nil {
+		wireProps = props
+		if len(wireProps) == 0 {
+			// Distinguish "no filter" (nil) from "empty filter" on the
+			// wire: an empty filter yields empty maps locally.
+			for i := range out {
+				if out[i] == nil {
+					out[i] = kg.Props{}
+				}
+			}
+			return out, nil
+		}
+	}
+	err := c.forEachChunk(ctx, len(missIdx), func(ctx context.Context, lo, hi int) error {
+		req := kgwire.PropertiesRequest{IDs: make([]int32, hi-lo), Props: wireProps}
+		for j, i := range missIdx[lo:hi] {
+			req.IDs[j] = int32(ids[i])
+		}
+		var resp kgwire.PropertiesResponse
+		if err := c.post(ctx, kgwire.PathProperties, req, &resp); err != nil {
+			return err
+		}
+		if len(resp.Props) != hi-lo {
+			return fmt.Errorf("kgremote: properties returned %d maps, want %d", len(resp.Props), hi-lo)
+		}
+		for j, i := range missIdx[lo:hi] {
+			p, err := resp.Props[j].ToProps()
+			if err != nil {
+				return err
+			}
+			out[i] = p
+			if props == nil {
+				c.props.put(ids[i], p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func filterProps(full kg.Props, props []string) kg.Props {
+	out := make(kg.Props, len(props))
+	for _, p := range props {
+		if vs, ok := full[p]; ok {
+			out[p] = vs
+		}
+	}
+	return out
+}
+
+// ClassProps implements kg.Source. Class property universes are tiny and
+// queried rarely, so they are not cached.
+func (c *Client) ClassProps(ctx context.Context, class string) ([]string, error) {
+	var resp kgwire.ClassPropsResponse
+	if err := c.post(ctx, kgwire.PathClassProps, kgwire.ClassPropsRequest{Class: class}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Props, nil
+}
+
+// CacheLen reports the entries held by each LRU (entities, property maps,
+// resolutions) — observability for tests and debugging.
+func (c *Client) CacheLen() (ents, props, resolve int) {
+	return c.ents.len(), c.props.len(), c.resolve.len()
+}

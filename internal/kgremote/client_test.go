@@ -1,0 +1,262 @@
+package kgremote
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"nexus/internal/kg"
+	"nexus/internal/kgserve"
+	"nexus/internal/kgwire"
+	"nexus/internal/obs"
+)
+
+func testGraph() *kg.Graph {
+	g := kg.NewGraph()
+	de := g.AddEntity("Germany", "Country")
+	fr := g.AddEntity("France", "Country")
+	eu := g.AddEntity("Euro", "Currency")
+	g.Set(de, "HDI", kg.Num(0.94))
+	g.Set(fr, "HDI", kg.Num(0.90))
+	g.Set(de, "Currency", kg.Ent(eu))
+	g.Set(fr, "Currency", kg.Ent(eu))
+	g.Add(de, "Ethnic Group", kg.Str("a"))
+	g.Add(de, "Ethnic Group", kg.Str("b"))
+	return g
+}
+
+// serve starts an httptest server for g and returns a client over it.
+func serve(t *testing.T, g *kg.Graph, scfg kgserve.Config, copts Options) (*Client, *kgserve.Server) {
+	t.Helper()
+	scfg.Source = g
+	srv := kgserve.New(scfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	copts.HTTPClient = hs.Client()
+	return New(hs.URL, copts), srv
+}
+
+// TestRoundTrip pins client-through-server results to the graph's own
+// answers for every kg.Source method.
+func TestRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	g := testGraph()
+	c, _ := serve(t, g, kgserve.Config{}, Options{})
+
+	values := []string{"Germany", "france", "Narnia", ""}
+	want, _ := g.Resolve(ctx, values)
+	got, err := c.Resolve(ctx, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Resolve = %+v, want %+v", got, want)
+	}
+
+	ids := []kg.EntityID{2, 0, 1}
+	wantE, _ := g.Entities(ctx, ids)
+	gotE, err := c.Entities(ctx, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotE, wantE) {
+		t.Fatalf("Entities = %+v, want %+v", gotE, wantE)
+	}
+
+	wantP, _ := g.GetProperties(ctx, ids, nil)
+	gotP, err := c.GetProperties(ctx, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotP, wantP) {
+		t.Fatalf("GetProperties = %+v, want %+v", gotP, wantP)
+	}
+	wantF, _ := g.GetProperties(ctx, ids, []string{"HDI"})
+	gotF, err := c.GetProperties(ctx, ids, []string{"HDI"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotF, wantF) {
+		t.Fatalf("filtered GetProperties = %+v, want %+v", gotF, wantF)
+	}
+
+	wantC, _ := g.ClassProps(ctx, "Country")
+	gotC, err := c.ClassProps(ctx, "Country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotC, wantC) {
+		t.Fatalf("ClassProps = %v, want %v", gotC, wantC)
+	}
+}
+
+// TestCacheServesRepeats asserts the second identical batch is served
+// entirely from the LRU: no new HTTP requests, hits counted.
+func TestCacheServesRepeats(t *testing.T) {
+	ctx := context.Background()
+	counters := obs.NewCounters()
+	c, srv := serve(t, testGraph(), kgserve.Config{}, Options{Counters: counters})
+
+	ids := []kg.EntityID{0, 1}
+	if _, err := c.GetProperties(ctx, ids, nil); err != nil {
+		t.Fatal(err)
+	}
+	reqs := srv.Requests(kgwire.PathProperties)
+	if reqs == 0 {
+		t.Fatal("first fetch issued no requests")
+	}
+	if _, err := c.GetProperties(ctx, ids, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Requests(kgwire.PathProperties); got != reqs {
+		t.Fatalf("cached fetch issued %d extra requests", got-reqs)
+	}
+	snap := counters.Snapshot()
+	if snap[obs.KGCacheHits] != 2 || snap[obs.KGCacheMisses] != 2 {
+		t.Fatalf("cache counters = hits %d misses %d, want 2/2", snap[obs.KGCacheHits], snap[obs.KGCacheMisses])
+	}
+	// Filtered requests are answered from the cached full maps too.
+	f, err := c.GetProperties(ctx, []kg.EntityID{0}, []string{"HDI"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f[0]) != 1 || f[0]["HDI"][0].Num != 0.94 {
+		t.Fatalf("filtered-from-cache = %+v", f[0])
+	}
+	if got := srv.Requests(kgwire.PathProperties); got != reqs {
+		t.Fatal("filtered request hit the network despite cached full map")
+	}
+}
+
+// TestChunkedBatches asserts oversized batches split into ceil(n/BatchSize)
+// requests, all of which succeed and reassemble in order.
+func TestChunkedBatches(t *testing.T) {
+	ctx := context.Background()
+	g := kg.NewGraph()
+	var ids []kg.EntityID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, g.AddEntity(string(rune('a'+i)), "X"))
+	}
+	c, srv := serve(t, g, kgserve.Config{}, Options{BatchSize: 3, MaxInflight: 2})
+	ents, err := c.Entities(ctx, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ents {
+		if e.ID != ids[i] {
+			t.Fatalf("ents[%d] = %+v", i, e)
+		}
+	}
+	if got := srv.Requests(kgwire.PathEntities); got != 4 {
+		t.Fatalf("issued %d requests for 10 ids at batch size 3, want 4", got)
+	}
+}
+
+// TestRetryOn500 asserts injected server faults are retried to success and
+// counted as retries.
+func TestRetryOn500(t *testing.T) {
+	ctx := context.Background()
+	counters := obs.NewCounters()
+	c, _ := serve(t, testGraph(),
+		kgserve.Config{FailRate: 0.5, Seed: 7},
+		Options{MaxRetries: 20, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond, Counters: counters})
+	links, err := c.Resolve(ctx, []string{"Germany"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if links[0].Outcome != kg.Linked {
+		t.Fatalf("link = %+v", links[0])
+	}
+	snap := counters.Snapshot()
+	if snap[obs.KGHTTPRequests] < 1 {
+		t.Fatal("no requests counted")
+	}
+	if snap[obs.KGHTTPRequests] != snap[obs.KGHTTPRetries]+1 {
+		t.Fatalf("requests %d, retries %d: want requests = retries+1",
+			snap[obs.KGHTTPRequests], snap[obs.KGHTTPRetries])
+	}
+}
+
+// TestBadRequestIsPermanent asserts 4xx responses fail immediately without
+// burning retries.
+func TestBadRequestIsPermanent(t *testing.T) {
+	ctx := context.Background()
+	counters := obs.NewCounters()
+	c, _ := serve(t, testGraph(), kgserve.Config{}, Options{MaxRetries: 5, Counters: counters})
+	_, err := c.Entities(ctx, []kg.EntityID{999})
+	if err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+	if !strings.Contains(err.Error(), "unknown entity") {
+		t.Fatalf("error = %v", err)
+	}
+	snap := counters.Snapshot()
+	if snap[obs.KGHTTPRequests] != 1 || snap[obs.KGHTTPRetries] != 0 {
+		t.Fatalf("4xx retried: requests %d retries %d", snap[obs.KGHTTPRequests], snap[obs.KGHTTPRetries])
+	}
+}
+
+// TestGivesUpAfterRetries asserts a persistently failing server surfaces
+// the last error after MaxRetries+1 attempts.
+func TestGivesUpAfterRetries(t *testing.T) {
+	ctx := context.Background()
+	counters := obs.NewCounters()
+	c, _ := serve(t, testGraph(),
+		kgserve.Config{FailRate: 0.999999, Seed: 3},
+		Options{MaxRetries: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond, Counters: counters})
+	_, err := c.Resolve(ctx, []string{"Germany"})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("error = %v", err)
+	}
+	if snap := counters.Snapshot(); snap[obs.KGHTTPRequests] != 3 {
+		t.Fatalf("attempts = %d, want 3", snap[obs.KGHTTPRequests])
+	}
+}
+
+// TestContextCancelStopsRetries asserts cancellation cuts the retry loop
+// short.
+func TestContextCancelStopsRetries(t *testing.T) {
+	c, _ := serve(t, testGraph(),
+		kgserve.Config{FailRate: 0.999999, Seed: 3},
+		Options{MaxRetries: 1000, RetryBase: 50 * time.Millisecond, RetryMax: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Resolve(ctx, []string{"Germany"})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not stop the retry loop")
+	}
+}
+
+// TestLRUEviction pins the cache's bounded size and recency order.
+func TestLRUEviction(t *testing.T) {
+	c := newLRU[int, string](2)
+	c.put(1, "a")
+	c.put(2, "b")
+	c.get(1) // refresh 1 → 2 is now oldest
+	c.put(3, "c")
+	if _, ok := c.get(2); ok {
+		t.Fatal("least recently used entry survived")
+	}
+	if v, ok := c.get(1); !ok || v != "a" {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+	// Zero capacity disables caching entirely.
+	z := newLRU[int, string](0)
+	z.put(1, "a")
+	if _, ok := z.get(1); ok || z.len() != 0 {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}

@@ -1,0 +1,266 @@
+// Package kgserve exposes any kg.Source over the kgwire HTTP protocol —
+// the server half of the remote knowledge-graph backend (cmd/kgd is the
+// binary wrapper). Each endpoint decodes a batch request, answers it from
+// the wrapped source, and replies with index-aligned JSON.
+//
+// For resilience testing the server injects faults on demand: FailRate is
+// the probability that a request is rejected with HTTP 500 before touching
+// the source, and Latency is a fixed artificial delay per request (both
+// applied to the /kg/v1/ endpoints only — /healthz is always honest). The
+// fault RNG is seeded, so a given request sequence fails deterministically.
+package kgserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nexus/internal/kg"
+	"nexus/internal/kgwire"
+	"nexus/internal/stats"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Source is the knowledge graph to serve. Required.
+	Source kg.Source
+	// FailRate is the probability in [0,1) that a /kg/v1/ request is
+	// rejected with HTTP 500 before reaching the source.
+	FailRate float64
+	// Latency is an artificial delay added to every /kg/v1/ request
+	// (cancelled early if the client gives up).
+	Latency time.Duration
+	// Seed seeds the fault-injection RNG (default 1): the same request
+	// sequence sees the same fault sequence.
+	Seed uint64
+	// MaxBatch rejects oversized batch requests with 400 (default 65536).
+	MaxBatch int
+}
+
+// Server handles the kgwire endpoints. Construct with New.
+type Server struct {
+	cfg Config
+
+	mu  sync.Mutex // guards rng
+	rng *stats.RNG
+
+	injected atomic.Int64
+	reqs     sync.Map // path → *atomic.Int64
+}
+
+// New returns a server for cfg.Source.
+func New(cfg Config) *Server {
+	if cfg.Source == nil {
+		panic("kgserve: Config.Source is required")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 65536
+	}
+	return &Server{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+}
+
+// Handler returns the HTTP handler serving the kgwire protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+kgwire.PathResolve, fault(s, s.handleResolve))
+	mux.HandleFunc("POST "+kgwire.PathEntities, fault(s, s.handleEntities))
+	mux.HandleFunc("POST "+kgwire.PathProperties, fault(s, s.handleProperties))
+	mux.HandleFunc("POST "+kgwire.PathClassProps, fault(s, s.handleClassProps))
+	mux.HandleFunc("GET "+kgwire.PathStats, s.handleStats)
+	mux.HandleFunc("GET "+kgwire.PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// Stats returns the per-endpoint request counts and the number of
+// injected faults so far.
+func (s *Server) Stats() kgwire.StatsResponse {
+	out := kgwire.StatsResponse{Requests: make(map[string]int64), Injected: s.injected.Load()}
+	s.reqs.Range(func(k, v any) bool {
+		out.Requests[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+// Requests returns the request count recorded for one endpoint path.
+func (s *Server) Requests(path string) int64 {
+	if v, ok := s.reqs.Load(path); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+func (s *Server) count(path string) {
+	v, ok := s.reqs.Load(path)
+	if !ok {
+		v, _ = s.reqs.LoadOrStore(path, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
+}
+
+// fault wraps a handler with request counting, artificial latency, and
+// probabilistic 500s.
+func fault(s *Server, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.count(r.URL.Path)
+		if s.cfg.Latency > 0 {
+			t := time.NewTimer(s.cfg.Latency)
+			select {
+			case <-r.Context().Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		if s.cfg.FailRate > 0 {
+			s.mu.Lock()
+			fail := s.rng.Float64() < s.cfg.FailRate
+			s.mu.Unlock()
+			if fail {
+				s.injected.Add(1)
+				http.Error(w, "injected fault", http.StatusInternalServerError)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// decode reads a JSON request body, replying 400 on malformed input.
+func decode[T any](w http.ResponseWriter, r *http.Request, req *T) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(req); err != nil {
+		http.Error(w, "invalid request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var req kgwire.ResolveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Values) > s.cfg.MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Values), s.cfg.MaxBatch), http.StatusBadRequest)
+		return
+	}
+	links, err := s.cfg.Source.Resolve(r.Context(), req.Values)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := kgwire.ResolveResponse{Links: make([]kgwire.Link, len(links))}
+	for i, l := range links {
+		resp.Links[i] = kgwire.FromLink(l)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request) {
+	var req kgwire.EntitiesRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) > s.cfg.MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.IDs), s.cfg.MaxBatch), http.StatusBadRequest)
+		return
+	}
+	ids := make([]kg.EntityID, len(req.IDs))
+	for i, id := range req.IDs {
+		ids[i] = kg.EntityID(id)
+	}
+	ents, err := s.cfg.Source.Entities(r.Context(), ids)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := kgwire.EntitiesResponse{Entities: make([]kgwire.Entity, len(ents))}
+	for i, e := range ents {
+		resp.Entities[i] = kgwire.FromEntity(e)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleProperties(w http.ResponseWriter, r *http.Request) {
+	var req kgwire.PropertiesRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) > s.cfg.MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.IDs), s.cfg.MaxBatch), http.StatusBadRequest)
+		return
+	}
+	ids := make([]kg.EntityID, len(req.IDs))
+	for i, id := range req.IDs {
+		ids[i] = kg.EntityID(id)
+	}
+	props, err := s.cfg.Source.GetProperties(r.Context(), ids, req.Props)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := kgwire.PropertiesResponse{Props: make([]kgwire.Props, len(props))}
+	for i, p := range props {
+		resp.Props[i] = kgwire.FromProps(p)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleClassProps(w http.ResponseWriter, r *http.Request) {
+	var req kgwire.ClassPropsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	props, err := s.cfg.Source.ClassProps(r.Context(), req.Class)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, kgwire.ClassPropsResponse{Props: props})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// Serve runs the handler on ln until ctx is cancelled, then shuts down
+// gracefully (bounded by drainTimeout).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return hs.Shutdown(sctx)
+}
+
+// ListenAndServe is Serve over a fresh TCP listener on addr.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, drainTimeout)
+}

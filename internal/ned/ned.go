@@ -5,10 +5,19 @@
 // unresolvable spelling variants ("Russian Federation" vs "Russia") and
 // ambiguous names ("Ronaldo") — because failed links are a major source of
 // missing values for the robustness machinery.
+//
+// The linker is a thin client-side layer over any kg.Source backend: the
+// backend performs exact and normalized matching (for the in-memory
+// *kg.Graph that is an index lookup; for a remote graph it is one batched
+// HTTP round trip), and the linker overlays locally registered aliases and
+// accounting. Backends can fail (a remote graph is reached over the
+// network), so the batch APIs return errors; callers must never fold a
+// transport error into an Unlinked outcome.
 package ned
 
 import (
-	"strings"
+	"context"
+	"fmt"
 
 	"nexus/internal/kg"
 	"nexus/internal/obs"
@@ -54,30 +63,42 @@ func (s Stats) Record(tr *obs.Trace) {
 	tr.Add(obs.EntitiesAmbiguous, int64(s.Ambiguous))
 }
 
-// Linker resolves strings to graph entities.
+// Resolution is one value's outcome from a batched resolve.
+type Resolution struct {
+	ID      kg.EntityID
+	Outcome Outcome
+}
+
+// Linker resolves strings to knowledge-graph entities through a kg.Source,
+// overlaying locally registered aliases. Precedence matches the historical
+// in-memory linker exactly: a verbatim entity-name match wins over an
+// alias, an alias wins over a normalized match, and ambiguous aliases merge
+// with the backend's normalized candidates.
 type Linker struct {
-	g *kg.Graph
-	// normalized name → candidate entity ids (≥2 means ambiguous)
-	norm map[string][]kg.EntityID
-	// explicit aliases → entity id
+	src kg.Source
+	// explicit aliases → entity id (normalized keys)
 	aliases map[string]kg.EntityID
-	stats   Stats
+	// ambiguous aliases → candidate entity ids (normalized keys); these
+	// merge with backend normalized candidates, so even a single id here
+	// turns ambiguous when the backend also has a candidate.
+	ambig map[string][]kg.EntityID
+	stats Stats
 }
 
 // NewLinker indexes the graph for linking. Entities whose normalized names
-// collide become ambiguous.
-func NewLinker(g *kg.Graph) *Linker {
-	l := &Linker{
-		g:       g,
-		norm:    make(map[string][]kg.EntityID),
+// collide become ambiguous. It is NewSourceLinker over the in-memory graph.
+func NewLinker(g *kg.Graph) *Linker { return NewSourceLinker(g) }
+
+// NewSourceLinker returns a linker over any knowledge-graph backend.
+// Resolution semantics are identical for every backend; only the transport
+// differs, which is why a remote linker can fail where an in-memory one
+// cannot — use ResolveBatch / ResolveCtx when the source is fallible.
+func NewSourceLinker(src kg.Source) *Linker {
+	return &Linker{
+		src:     src,
 		aliases: make(map[string]kg.EntityID),
+		ambig:   make(map[string][]kg.EntityID),
 	}
-	for i := 0; i < g.NumEntities(); i++ {
-		e := g.Entity(kg.EntityID(i))
-		key := Normalize(e.Name)
-		l.norm[key] = append(l.norm[key], e.ID)
-	}
-	return l
 }
 
 // AddAlias registers an alternative surface form for an entity (e.g.
@@ -90,23 +111,61 @@ func (l *Linker) AddAlias(alias string, id kg.EntityID) {
 // which the linker will refuse to resolve (the paper's "Ronaldo" case).
 func (l *Linker) AddAmbiguousAlias(alias string, ids ...kg.EntityID) {
 	key := Normalize(alias)
-	l.norm[key] = append(l.norm[key], ids...)
+	l.ambig[key] = append(l.ambig[key], ids...)
+}
+
+// ResolveBatch resolves every value in one backend round trip, overlaying
+// client-side aliases, without touching the linker's accumulated
+// statistics. out[i] corresponds to values[i]. A backend failure returns an
+// error and resolves nothing — failed transport is never reported as
+// Unlinked, because downstream missing-value machinery treats Unlinked as a
+// property of the data, not of the network. Safe for concurrent use once
+// alias registration is done.
+func (l *Linker) ResolveBatch(ctx context.Context, values []string) ([]Resolution, error) {
+	links, err := l.src.Resolve(ctx, values)
+	if err != nil {
+		return nil, err
+	}
+	if len(links) != len(values) {
+		return nil, fmt.Errorf("ned: backend resolved %d values, want %d", len(links), len(values))
+	}
+	out := make([]Resolution, len(values))
+	for i, v := range values {
+		id, o := l.overlay(v, links[i])
+		out[i] = Resolution{ID: id, Outcome: o}
+	}
+	return out, nil
+}
+
+// ResolveCtx resolves a single value with error propagation (a one-element
+// ResolveBatch).
+func (l *Linker) ResolveCtx(ctx context.Context, value string) (kg.EntityID, Outcome, error) {
+	res, err := l.ResolveBatch(ctx, []string{value})
+	if err != nil {
+		return 0, Unlinked, err
+	}
+	return res[0].ID, res[0].Outcome, nil
 }
 
 // Resolve links value to an entity id without touching the linker's
 // accumulated statistics. Unlike Link it is safe for concurrent use (the
-// lookup indexes are immutable after alias registration), which is what the
-// extraction path uses when several explanation requests run in parallel;
-// callers that want per-workload statistics count the outcomes themselves.
+// lookup indexes are immutable after alias registration). Resolve cannot
+// report backend failures; over a fallible (remote) source a transport
+// error degrades to Unlinked, so batch extraction paths use ResolveBatch,
+// which propagates errors instead.
 func (l *Linker) Resolve(value string) (kg.EntityID, Outcome) {
-	return l.resolve(value)
+	id, out, err := l.ResolveCtx(context.Background(), value)
+	if err != nil {
+		return 0, Unlinked
+	}
+	return id, out
 }
 
 // Link resolves value to an entity id. The second return is the outcome;
 // stats are accumulated on the linker. Because of that accumulation Link is
 // NOT safe for concurrent use; concurrent callers should use Resolve.
 func (l *Linker) Link(value string) (kg.EntityID, Outcome) {
-	id, out := l.resolve(value)
+	id, out := l.Resolve(value)
 	switch out {
 	case Linked:
 		l.stats.Linked++
@@ -118,26 +177,39 @@ func (l *Linker) Link(value string) (kg.EntityID, Outcome) {
 	return id, out
 }
 
-func (l *Linker) resolve(value string) (kg.EntityID, Outcome) {
+// overlay merges the backend's resolution of value with the client-side
+// alias tables, preserving the historical precedence exact → alias → norm.
+func (l *Linker) overlay(value string, srv kg.Link) (kg.EntityID, Outcome) {
 	if value == "" {
 		return 0, Unlinked
 	}
-	// Exact entity name.
-	if id, ok := l.g.Lookup(value); ok {
-		return id, Linked
+	if srv.Outcome == kg.Linked && srv.Exact {
+		return srv.ID, Linked
 	}
 	key := Normalize(value)
 	if id, ok := l.aliases[key]; ok {
 		return id, Linked
 	}
-	cands := l.norm[key]
-	switch len(cands) {
-	case 0:
-		return 0, Unlinked
-	case 1:
-		return cands[0], Linked
-	default:
+	if extra := l.ambig[key]; len(extra) > 0 {
+		n := len(extra)
+		switch srv.Outcome {
+		case kg.Linked:
+			n++
+		case kg.Ambiguous:
+			n += 2
+		}
+		if n >= 2 {
+			return 0, Ambiguous
+		}
+		return extra[0], Linked
+	}
+	switch srv.Outcome {
+	case kg.Linked:
+		return srv.ID, Linked
+	case kg.Ambiguous:
 		return 0, Ambiguous
+	default:
+		return 0, Unlinked
 	}
 }
 
@@ -148,27 +220,10 @@ func (l *Linker) Stats() Stats { return l.stats }
 func (l *Linker) ResetStats() { l.stats = Stats{} }
 
 // Normalize lowercases, trims, and collapses inner whitespace; it also
-// strips a small set of punctuation so "St. Louis" matches "St Louis".
-func Normalize(s string) string {
-	s = strings.ToLower(strings.TrimSpace(s))
-	var b strings.Builder
-	lastSpace := false
-	for _, r := range s {
-		switch {
-		case r == '.' || r == ',' || r == '\'':
-			continue
-		case r == ' ' || r == '\t' || r == '-' || r == '_':
-			if !lastSpace && b.Len() > 0 {
-				b.WriteByte(' ')
-				lastSpace = true
-			}
-		default:
-			b.WriteRune(r)
-			lastSpace = false
-		}
-	}
-	return strings.TrimSpace(b.String())
-}
+// strips a small set of punctuation so "St. Louis" matches "St Louis". It
+// is kg.Normalize, re-exported because NED is where callers historically
+// found it.
+func Normalize(s string) string { return kg.Normalize(s) }
 
 // LinkColumn links every distinct value of vals, returning the resolved id
 // per distinct value (missing entries failed to link) and aggregate stats

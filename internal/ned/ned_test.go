@@ -1,6 +1,8 @@
 package ned
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"nexus/internal/kg"
@@ -121,6 +123,91 @@ func TestLinkColumn(t *testing.T) {
 	// Duplicates counted once.
 	if l.Stats().Total() != 3 {
 		t.Fatalf("attempts = %d, want 3 distinct", l.Stats().Total())
+	}
+}
+
+// flakySource fails its Resolve calls until failures is exhausted, then
+// delegates to the wrapped source — the shape of a remote backend with
+// transient transport errors.
+type flakySource struct {
+	kg.Source
+	failures int
+	err      error
+	calls    int
+}
+
+func (f *flakySource) Resolve(ctx context.Context, values []string) ([]kg.Link, error) {
+	f.calls++
+	if f.failures > 0 {
+		f.failures--
+		return nil, f.err
+	}
+	return f.Source.Resolve(ctx, values)
+}
+
+// TestResolveBatchPropagatesErrors is the regression test for the remote
+// backend: a transport failure must surface as an error, never be folded
+// into Unlinked (which would poison the missing-value accounting), and must
+// leave the linker's statistics untouched.
+func TestResolveBatchPropagatesErrors(t *testing.T) {
+	g, ru, _ := testGraph()
+	boom := errors.New("kg backend unreachable")
+	src := &flakySource{Source: g, failures: 1, err: boom}
+	l := NewSourceLinker(src)
+
+	_, err := l.ResolveBatch(context.Background(), []string{"Russia", "Narnia"})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ResolveBatch error = %v, want %v", err, boom)
+	}
+	if s := l.Stats(); s.Total() != 0 {
+		t.Fatalf("failed resolve leaked into stats: %+v", s)
+	}
+
+	// The next attempt (backend recovered) resolves with unchanged
+	// ambiguous/unlinked accounting.
+	res, err := l.ResolveBatch(context.Background(), []string{"Russia", "Narnia", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Outcome != Linked || res[0].ID != ru {
+		t.Fatalf("res[0] = %+v", res[0])
+	}
+	if res[1].Outcome != Unlinked || res[2].Outcome != Unlinked {
+		t.Fatalf("miss outcomes = %+v %+v", res[1], res[2])
+	}
+	if src.calls != 2 {
+		t.Fatalf("backend calls = %d, want 2", src.calls)
+	}
+}
+
+// TestSourceLinkerParity pins the alias precedence over a source-backed
+// linker to the historical semantics: exact beats alias beats normalized,
+// and ambiguous aliases merge with backend candidates.
+func TestSourceLinkerParity(t *testing.T) {
+	g := kg.NewGraph()
+	ru := g.AddEntity("Russia", "Country")
+	cr := g.AddEntity("Cristiano Ronaldo", "Person")
+	l := NewSourceLinker(g)
+	l.AddAlias("Russian Federation", ru)
+	// An ambiguous alias with one id merges with the backend's normalized
+	// candidate for the same key → two candidates → Ambiguous.
+	l.AddAmbiguousAlias("cristiano ronaldo", ru)
+
+	if id, out := l.Resolve("Russian Federation"); out != Linked || id != ru {
+		t.Fatalf("alias resolve = %v %v", id, out)
+	}
+	// Exact name match still wins over the ambiguous alias.
+	if id, out := l.Resolve("Cristiano Ronaldo"); out != Linked || id != cr {
+		t.Fatalf("exact resolve = %v %v", id, out)
+	}
+	// Non-exact surface form hits alias + normalized merge → Ambiguous.
+	if _, out := l.Resolve("cristiano  ronaldo"); out != Ambiguous {
+		t.Fatalf("merged resolve = %v", out)
+	}
+	// A single ambiguous-alias id with no backend candidate links.
+	l.AddAmbiguousAlias("the motherland", ru)
+	if id, out := l.Resolve("The Motherland"); out != Linked || id != ru {
+		t.Fatalf("single-candidate ambiguous alias = %v %v", id, out)
 	}
 }
 

@@ -94,6 +94,15 @@ const (
 	// for parallelism.
 	SpeculativeEvals = "speculative_evals"
 	SpeculativeWins  = "speculative_wins"
+	// KGCacheHits / KGCacheMisses count lookups served from (or missing in)
+	// the remote KG client's entity/property LRU caches.
+	KGCacheHits   = "kg_cache_hits"
+	KGCacheMisses = "kg_cache_misses"
+	// KGHTTPRequests counts HTTP requests issued to a remote KG backend
+	// (retries included); KGHTTPRetries counts just the re-attempts after
+	// retryable failures.
+	KGHTTPRequests = "kg_http_requests"
+	KGHTTPRetries  = "kg_http_retries"
 )
 
 // PrunedCounter names the per-rule prune counter, e.g.

@@ -83,21 +83,34 @@ func (o *Options) applyDefaults() {
 	}
 }
 
-// Session holds a table catalog, a knowledge graph and an entity linker,
-// and answers Explain requests.
+// Session holds a table catalog, a knowledge-graph backend and an entity
+// linker, and answers Explain requests.
 type Session struct {
 	opts     Options
 	catalog  sqlx.Catalog
-	graph    *kg.Graph
+	src      kg.Source
 	linker   *ned.Linker
 	links    map[string][]string // table name → link columns
 	excludes map[string][]string // table name → columns never used as candidates
 }
 
-// NewSession creates a session over the given knowledge graph. opts may be
-// nil for defaults. The graph may be nil, in which case only input-table
-// attributes are considered (the HypDB setting).
+// NewSession creates a session over the given in-memory knowledge graph.
+// opts may be nil for defaults. The graph may be nil, in which case only
+// input-table attributes are considered (the HypDB setting). It is
+// NewSessionFromSource over the in-memory graph.
 func NewSession(graph *kg.Graph, opts *Options) *Session {
+	if graph == nil {
+		return NewSessionFromSource(nil, opts)
+	}
+	return NewSessionFromSource(graph, opts)
+}
+
+// NewSessionFromSource creates a session over any knowledge-graph backend —
+// the in-memory *kg.Graph or a remote graph served by kgd (package
+// kgremote). Extraction and NED batch their backend access per hop, so a
+// remote session issues O(hops) HTTP round trips per link column rather
+// than one per entity. src may be nil for the no-KG setting.
+func NewSessionFromSource(src kg.Source, opts *Options) *Session {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -106,12 +119,12 @@ func NewSession(graph *kg.Graph, opts *Options) *Session {
 	s := &Session{
 		opts:     o,
 		catalog:  sqlx.Catalog{},
-		graph:    graph,
+		src:      src,
 		links:    map[string][]string{},
 		excludes: map[string][]string{},
 	}
-	if graph != nil {
-		s.linker = ned.NewLinker(graph)
+	if src != nil {
+		s.linker = ned.NewSourceLinker(src)
 	}
 	return s
 }

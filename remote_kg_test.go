@@ -1,0 +1,127 @@
+package nexus_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nexus"
+	"nexus/internal/kg"
+	"nexus/internal/kgremote"
+	"nexus/internal/kgserve"
+	"nexus/internal/obs"
+	"nexus/internal/workload"
+)
+
+const flightsQuery = "SELECT Origin_city, avg(Departure_delay) FROM Flights GROUP BY Origin_city"
+
+// flightsSession builds a flights session over the given KG backend, with
+// the dataset always drawn from the shared local world so both backends
+// see identical input tables.
+func flightsSession(w *kg.World, src kg.Source, opts *nexus.Options) *nexus.Session {
+	ds := workload.Flights(w, workload.Config{Rows: 8000, Seed: 12})
+	sess := nexus.NewSessionFromSource(src, opts)
+	sess.RegisterTable(ds.Name, ds.Table, ds.LinkColumns...)
+	sess.ExcludeCandidates(ds.Name, ds.ExcludeCandidates...)
+	return sess
+}
+
+// stableSummary strips the wall-clock line from a report summary, leaving
+// only the deterministic content (query, scores, attributes, candidates).
+func stableSummary(r *nexus.Report) string {
+	lines := strings.Split(r.Summary(), "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "elapsed:") {
+			kept = append(kept, l)
+		}
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestRemoteKGFlightsIdentical is the acceptance test for the remote
+// backend: against a kgd-equivalent server injecting 20% failures and 5ms
+// latency per request, the flights explanation and its subgroups must be
+// byte-identical to the in-memory backend. Faults only cost retries; they
+// must never alter results.
+func TestRemoteKGFlightsIdentical(t *testing.T) {
+	w := integrationWorld()
+
+	local := flightsSession(w, w.Graph, nil)
+	wantRep, err := local.Explain(flightsQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGroups, _, err := wantRep.Subgroups(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := kgserve.New(kgserve.Config{
+		Source:   w.Graph,
+		FailRate: 0.2,
+		Latency:  5 * time.Millisecond,
+		Seed:     11,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := kgremote.New(hs.URL, kgremote.Options{
+		HTTPClient: hs.Client(),
+		MaxRetries: 50,
+		RetryBase:  time.Millisecond,
+		RetryMax:   10 * time.Millisecond,
+	})
+
+	remote := flightsSession(w, client, nil)
+	gotRep, err := remote.Explain(flightsQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotGroups, _, err := gotRep.Subgroups(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := stableSummary(gotRep), stableSummary(wantRep); got != want {
+		t.Errorf("explanation differs across backends:\n--- remote ---\n%s\n--- in-memory ---\n%s", got, want)
+	}
+	if len(gotGroups) != len(wantGroups) {
+		t.Fatalf("subgroups: %d remote vs %d in-memory", len(gotGroups), len(wantGroups))
+	}
+	for i := range wantGroups {
+		if gotGroups[i].String() != wantGroups[i].String() || gotGroups[i].Size != wantGroups[i].Size {
+			t.Errorf("subgroup %d differs: %s (size %d) vs %s (size %d)", i,
+				gotGroups[i].String(), gotGroups[i].Size, wantGroups[i].String(), wantGroups[i].Size)
+		}
+	}
+	if srv.Stats().Injected == 0 {
+		t.Error("fault injection never fired; the test is not exercising retries")
+	}
+}
+
+// TestRemoteKGRequestBudget pins the batching contract: a remote flights
+// extraction issues at most hops × linkColumns × 4 HTTP requests — per-hop
+// batches, never per-entity pointer chasing (which would take thousands of
+// round trips for the same extraction).
+func TestRemoteKGRequestBudget(t *testing.T) {
+	w := integrationWorld()
+	for _, hops := range []int{1, 2} {
+		srv := kgserve.New(kgserve.Config{Source: w.Graph})
+		hs := httptest.NewServer(srv.Handler())
+		counters := obs.NewCounters()
+		client := kgremote.New(hs.URL, kgremote.Options{HTTPClient: hs.Client(), Counters: counters})
+
+		sess := flightsSession(w, client, &nexus.Options{Hops: hops})
+		if _, err := sess.Prepare(flightsQuery); err != nil {
+			hs.Close()
+			t.Fatal(err)
+		}
+		linkCols := len(workload.Flights(w, workload.Config{Rows: 16, Seed: 12}).LinkColumns)
+		budget := int64(hops * linkCols * 4)
+		if got := counters.Get(obs.KGHTTPRequests); got == 0 || got > budget {
+			t.Errorf("hops=%d: %d HTTP requests, budget %d (link columns: %d)", hops, got, budget, linkCols)
+		}
+		hs.Close()
+	}
+}

@@ -7,6 +7,8 @@
 #   3. symbols: every `pkg.Symbol`-style identifier mentioned in
 #      docs/ARCHITECTURE.md and docs/API.md must still exist somewhere in
 #      the Go sources, so the docs cannot silently rot after a rename.
+#   4. sections: load-bearing doc sections (referenced from code comments
+#      and other docs) must keep existing under their exact headings.
 #
 # Run from the repository root: ./scripts/check_docs.sh
 set -u
@@ -61,6 +63,23 @@ if [ -n "$symfail" ]; then
     echo "$symfail" >&2
     fail=1
 fi
+
+# --- 4. required sections ----------------------------------------------------
+# Headings other docs and code comments point at by name; renaming one must
+# fail CI so the references get updated together.
+require_section() {
+    doc=$1
+    heading=$2
+    if ! grep -qxF "$heading" "$doc"; then
+        echo "check_docs: $doc is missing required section: $heading" >&2
+        fail=1
+    fi
+}
+require_section docs/ARCHITECTURE.md '## KG backends'
+require_section docs/ARCHITECTURE.md '## Hot path & caching'
+require_section docs/ARCHITECTURE.md '## Observability invariant'
+require_section docs/API.md '## kgd wire protocol'
+require_section docs/API.md '## Timeouts, cancellation, shutdown'
 
 if [ "$fail" -ne 0 ]; then
     exit 1
