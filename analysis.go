@@ -137,6 +137,9 @@ func (s *Session) PrepareQueryCtx(ctx context.Context, q *sqlx.Query) (*Analysis
 		metrics:   tr.Counters(),
 	}
 	if a.metrics == nil {
+		a.metrics = s.opts.Metrics
+	}
+	if a.metrics == nil {
 		a.metrics = obs.NewCounters()
 	}
 	if a.binOpts.Bins == 0 || s.opts.AutoBins {
@@ -561,14 +564,35 @@ func (r *Report) Subgroups(k int, tau float64) ([]subgroups.Group, subgroups.Sta
 }
 
 // SubgroupsCtx is Subgroups honouring ctx: the lattice search checks for
-// cancellation before scoring each node. On cancellation the returned error
-// wraps ctx.Err().
+// cancellation before scoring each batch. On cancellation the returned
+// error wraps ctx.Err().
 func (r *Report) SubgroupsCtx(ctx context.Context, k int, tau float64) ([]subgroups.Group, subgroups.Stats, error) {
-	if tau <= 0 {
-		tau = 2 * r.Explanation.Score
-		if tau < 0.2 {
-			tau = 0.2
+	return r.SubgroupsWithOptions(ctx, subgroups.Options{K: k, Tau: tau})
+}
+
+// SubgroupsWithOptions is SubgroupsCtx with the full search configuration
+// exposed — notably Parallelism, which the benchmarks sweep to compare the
+// serial and batched lattice traversals on identical inputs (results are
+// byte-identical at any setting; only wall clock and effort counters move).
+// Zero fields select the session-level defaults SubgroupsCtx uses: the
+// paper-style τ of max(0.2, 2× the explanation score), the session's
+// Core.Parallelism, and the session's Trace/Metrics as counter sinks.
+func (r *Report) SubgroupsWithOptions(ctx context.Context, opts subgroups.Options) ([]subgroups.Group, subgroups.Stats, error) {
+	sess := r.Analysis.session
+	if opts.Tau <= 0 {
+		opts.Tau = 2 * r.Explanation.Score
+		if opts.Tau < 0.2 {
+			opts.Tau = 0.2
 		}
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = sess.opts.Core.Parallelism
+	}
+	if opts.Trace == nil {
+		opts.Trace = sess.opts.Trace
+	}
+	if opts.Counters == nil {
+		opts.Counters = sess.opts.Metrics
 	}
 	encs, err := r.explanationEncodings()
 	if err != nil {
@@ -578,10 +602,7 @@ func (r *Report) SubgroupsCtx(ctx context.Context, k int, tau float64) ([]subgro
 	if err != nil {
 		return nil, subgroups.Stats{}, err
 	}
-	return subgroups.TopUnexplainedCtx(ctx, r.Analysis.T, r.Analysis.O, encs, attrs, subgroups.Options{
-		K: k, Tau: tau,
-		Trace: r.Analysis.session.opts.Trace,
-	})
+	return subgroups.TopUnexplainedCtx(ctx, r.Analysis.T, r.Analysis.O, encs, attrs, opts)
 }
 
 // ExplainSubgroup re-explains the query inside one unexplained subgroup —

@@ -11,10 +11,13 @@
 package nexus_test
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"nexus"
 	"nexus/internal/baselines"
@@ -22,6 +25,7 @@ import (
 	"nexus/internal/harness"
 	"nexus/internal/kg"
 	"nexus/internal/obs"
+	"nexus/internal/subgroups"
 	"nexus/internal/workload"
 )
 
@@ -288,6 +292,56 @@ func BenchmarkHeadlineFlights(b *testing.B) {
 	}
 }
 
+// benchReport prepares the Flights delay report once for the subgroup-search
+// benchmarks. Flights is the subgroup-heavy workload: its refinement lattice
+// (origin city × airline × extracted geography) is wide enough that the
+// search explores hundreds of nodes before the MaxExplored cap.
+var (
+	benchReportOnce sync.Once
+	benchReportVal  *nexus.Report
+	benchReportErr  error
+)
+
+func benchReport() (*nexus.Report, error) {
+	benchReportOnce.Do(func() {
+		world := kg.NewWorld(kg.WorldConfig{Seed: 11})
+		ds := workload.Flights(world, workload.Config{Rows: 20000, Seed: 12})
+		sess := nexus.NewSession(world.Graph, nil)
+		sess.RegisterTable(ds.Name, ds.Table, ds.LinkColumns...)
+		sess.ExcludeCandidates(ds.Name, ds.ExcludeCandidates...)
+		benchReportVal, benchReportErr = sess.Explain("SELECT Origin_city, avg(Departure_delay) FROM Flights GROUP BY Origin_city")
+	})
+	return benchReportVal, benchReportErr
+}
+
+// BenchmarkTopUnexplained measures the subgroup-lattice search (Algorithm 2)
+// at a sweep of Parallelism settings over the identical prepared report.
+// Results are byte-identical across sub-benchmarks — only wall clock and the
+// speculative-effort counters move — so the ratio serial/parallel4 is a pure
+// scheduling speedup. On a single-core runner the parallel settings show no
+// gain (and a small batching overhead); compare on multi-core hardware.
+func BenchmarkTopUnexplained(b *testing.B) {
+	rep, err := benchReport()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4} {
+		name := fmt.Sprintf("parallelism=%d", p)
+		b.Run(name, func(b *testing.B) {
+			var explored int64
+			for i := 0; i < b.N; i++ {
+				_, st, err := rep.SubgroupsWithOptions(context.Background(),
+					subgroups.Options{K: 5, Parallelism: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				explored = int64(st.Explored)
+			}
+			b.ReportMetric(float64(explored), "nodes-explored")
+		})
+	}
+}
+
 // benchAnalysis prepares the SO Q1 analysis once for the Explain benchmarks.
 var (
 	benchAnalysisOnce sync.Once
@@ -347,7 +401,14 @@ type benchObsEntry struct {
 	Rows     int              `json:"rows"`
 	TotalNS  int64            `json:"total_ns"`
 	PhasesNS map[string]int64 `json:"phases_ns"`
-	Counters map[string]int64 `json:"counters"`
+	// Subgroup-lattice search wall clock at Parallelism 1 vs 4 over the same
+	// report — the profile where the frontier-batching speedup lands. The
+	// searches are byte-identical; only scheduling differs. On a single-core
+	// runner the two are comparable (batching costs a few percent); the ratio
+	// is meaningful on multi-core hardware.
+	SubgroupsSerialNS   int64            `json:"subgroups_serial_ns"`
+	SubgroupsParallelNS int64            `json:"subgroups_parallel_ns"`
+	Counters            map[string]int64 `json:"counters"`
 }
 
 // TestBenchObsJSON runs a traced end-to-end Explain for the SO and Flights
@@ -375,16 +436,38 @@ func TestBenchObsJSON(t *testing.T) {
 		sess := nexus.NewSession(world.Graph, &nexus.Options{Trace: tr})
 		sess.RegisterTable(ds.Name, ds.Table, ds.LinkColumns...)
 		sess.ExcludeCandidates(ds.Name, ds.ExcludeCandidates...)
-		if _, err := sess.Explain(w.query); err != nil {
+		rep, err := sess.Explain(w.query)
+		if err != nil {
 			t.Fatalf("%s: %v", w.key, err)
+		}
+		// Time the subgroup search serial and batched over the same report.
+		// Parallelism is pinned to 4 (not GOMAXPROCS) so the effort counters
+		// in the profile are machine-independent — check_bench.sh compares
+		// counters strictly.
+		timeSearch := func(p int) (time.Duration, []subgroups.Group) {
+			start := time.Now()
+			groups, _, err := rep.SubgroupsWithOptions(context.Background(),
+				subgroups.Options{K: 5, Parallelism: p})
+			if err != nil {
+				t.Fatalf("%s: subgroups at parallelism %d: %v", w.key, p, err)
+			}
+			return time.Since(start), groups
+		}
+		serialNS, serialGroups := timeSearch(1)
+		parallelNS, parallelGroups := timeSearch(4)
+		if fmt.Sprint(serialGroups) != fmt.Sprint(parallelGroups) {
+			t.Errorf("%s: serial and parallel subgroup results differ:\n%v\n%v",
+				w.key, serialGroups, parallelGroups)
 		}
 		snap := tr.Close()
 		out[w.key] = benchObsEntry{
-			Query:    w.query,
-			Rows:     ds.Table.NumRows(),
-			TotalNS:  snap.TotalNS,
-			PhasesNS: snap.Flatten(),
-			Counters: snap.Counters,
+			Query:               w.query,
+			Rows:                ds.Table.NumRows(),
+			TotalNS:             snap.TotalNS,
+			PhasesNS:            snap.Flatten(),
+			SubgroupsSerialNS:   serialNS.Nanoseconds(),
+			SubgroupsParallelNS: parallelNS.Nanoseconds(),
+			Counters:            snap.Counters,
 		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
@@ -400,6 +483,11 @@ func TestBenchObsJSON(t *testing.T) {
 		}
 		if len(e.PhasesNS) == 0 {
 			t.Errorf("%s: expected per-phase durations", key)
+		}
+		for _, c := range []string{obs.GroupsScored, obs.SubgroupBatches, obs.SubgroupNodesExplored} {
+			if e.Counters[c] == 0 {
+				t.Errorf("%s: expected a nonzero %s counter from the subgroup searches", key, c)
+			}
 		}
 	}
 }

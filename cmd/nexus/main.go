@@ -60,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		kgURL     = fs.String("kg", "", "remote knowledge-graph server URL (cmd/kgd), e.g. http://localhost:7070; default in-process graph")
 		hops      = fs.Int("hops", 1, "KG extraction depth")
 		subgroups = fs.Int("subgroups", 0, "also report the top-k unexplained subgroups")
+		par       = fs.Int("parallelism", 0, "worker goroutines for MCIMR and the subgroup lattice search (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 		noIPW     = fs.Bool("no-ipw", false, "disable selection-bias detection and IPW")
 		trace     = fs.Bool("trace", false, "print the phase trace tree (spans + counters) to stderr")
 		traceJSON = fs.String("trace-json", "", "stream trace events as JSON lines to this file")
@@ -98,7 +99,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "using remote knowledge graph at %s\n", *kgURL)
 		src = kgremote.New(*kgURL, kgremote.Options{Counters: tr.Counters()})
 	}
-	sess := nexus.NewSessionFromSource(src, &nexus.Options{Hops: *hops, DisableIPW: *noIPW, Trace: tr})
+	opts := nexus.Options{Hops: *hops, DisableIPW: *noIPW, Trace: tr}
+	opts.Core.Parallelism = *par
+	sess := nexus.NewSessionFromSource(src, &opts)
 
 	lsp := tr.Start("load-dataset")
 	switch {

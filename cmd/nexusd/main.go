@@ -62,6 +62,7 @@ func run(args []string) error {
 		kgURL        = fs.String("kg", "", "remote knowledge-graph server URL (cmd/kgd), e.g. http://localhost:7070; default in-process graph")
 		hops         = fs.Int("hops", 1, "KG extraction depth")
 		noIPW        = fs.Bool("no-ipw", false, "disable selection-bias detection and IPW")
+		par          = fs.Int("parallelism", 0, "worker goroutines per explanation for MCIMR and the subgroup lattice search (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 		workers      = fs.Int("workers", 0, "concurrent explanations (0 = GOMAXPROCS, capped at 8)")
 		queue        = fs.Int("queue", 0, "queued jobs before 429 (0 = 4 × workers)")
 		timeout      = fs.Duration("timeout", 60*time.Second, "default per-request timeout")
@@ -83,14 +84,19 @@ func run(args []string) error {
 		log.Printf("using remote knowledge graph at %s", *kgURL)
 		src = kgremote.New(*kgURL, kgremote.Options{Counters: metrics})
 	}
-	sess := nexus.NewSessionFromSource(src, &nexus.Options{
+	sessOpts := nexus.Options{
 		Hops:       *hops,
 		DisableIPW: *noIPW,
 		// One cache per daemon: concurrent requests over the same dataset
 		// context share a single KG extraction. No Trace — the session
-		// trace is single-request machinery; servers use counters only.
+		// trace is single-request machinery; servers use counters only —
+		// Metrics routes every pipeline counter (bias detections, cache
+		// hits, subgroup-search effort) to /debug/vars.
+		Metrics:      metrics,
 		ExtractCache: nexus.NewExtractionCache(metrics),
-	})
+	}
+	sessOpts.Core.Parallelism = *par
+	sess := nexus.NewSessionFromSource(src, &sessOpts)
 
 	switch {
 	case *csvPath != "":

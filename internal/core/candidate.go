@@ -189,11 +189,3 @@ func combineWeights(ws ...[]float64) []float64 {
 	}
 	return out
 }
-
-// weightsFor returns the candidate's IPW weights for enc, or nil.
-func weightsFor(c *Candidate, enc *bins.Encoded) []float64 {
-	if c.Weights == nil {
-		return nil
-	}
-	return c.Weights(enc)
-}

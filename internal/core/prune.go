@@ -263,20 +263,6 @@ func permBudget(opts PruneOptions) int {
 	return opts.MaxPermRows
 }
 
-// determines reports an approximate functional dependency E ⇒ x
-// (H(x|E) ≈ 0 relative to H(x)). Per Lemma A.2, conditioning on an
-// attribute that determines T (or O) yields I(O;T|E) = 0 — a fake perfect
-// explanation — so such attributes are discarded. The converse direction
-// (x determines E, e.g. Country ⇒ GDP) is harmless and expected of
-// entity-level attributes.
-func determines(e, x *bins.Encoded, hx float64, threshold float64) bool {
-	if hx <= 0 {
-		return false
-	}
-	hxe := infotheory.CondEntropyPair(x, e, nil)
-	return hxe/hx < threshold
-}
-
 // parallelFor runs fn(i) for i in [0, n) on up to workers goroutines
 // (GOMAXPROCS when workers ≤ 0).
 func parallelFor(n, workers int, fn func(i int)) {

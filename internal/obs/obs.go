@@ -72,6 +72,18 @@ const (
 	// SubgroupNodesExplored / SubgroupNodesPushed mirror subgroups.Stats.
 	SubgroupNodesExplored = "subgroup_nodes_explored"
 	SubgroupNodesPushed   = "subgroup_nodes_pushed"
+	// SubgroupBatches counts frontier batches scored by the parallel lattice
+	// search (one worker-pool round each); GroupsScored counts the lattice
+	// nodes actually evaluated, including speculative evaluations the
+	// traversal never consumes (GroupsScored − SubgroupNodesExplored is the
+	// wasted speculation traded for parallelism). Both grow with
+	// subgroups.Options.Parallelism; results never change with it.
+	SubgroupBatches = "subgroup_batches"
+	GroupsScored    = "groups_scored"
+	// RowsetCacheHits counts group row-set lookups served by the per-run
+	// parent→child row-index cache of the lattice search — each hit is a
+	// row-set that did not have to be re-intersected from the root.
+	RowsetCacheHits = "rowset_cache_hits"
 	// ExtractCacheHits / ExtractCacheMisses count lookups in the keyed
 	// per-dataset KG-extraction cache (nexus.ExtractionCache): a hit means a
 	// whole NED + graph-walk pass was avoided because an earlier request

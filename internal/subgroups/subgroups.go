@@ -4,14 +4,25 @@
 // I(O;T|C',E) exceeds a threshold τ). The refinement lattice is traversed
 // best-first by group size with a max-heap, generating each node at most
 // once and pruning descendants of qualifying groups.
+//
+// The traversal is batch-parallel: the scoring of frontier nodes — the only
+// expensive step, one debiased-CMI evaluation per node — runs on a worker
+// pool, while every traversal decision (pop order, expansion, result
+// insertion, stop conditions) is replayed on a single goroutine in exactly
+// the serial order. Output is therefore byte-identical at any Parallelism;
+// see TopUnexplainedCtx.
 package subgroups
 
 import (
 	"container/heap"
 	"context"
+	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"nexus/internal/bins"
 	"nexus/internal/infotheory"
@@ -33,13 +44,18 @@ type Assignment struct {
 	Value   string
 }
 
-// Group is a context refinement with its size and explanation score.
+// Group is a context refinement with its size and explanation score. Row
+// sets live in a per-run cache during the search (see rowsetCache), not on
+// the group, so heap nodes stay small.
 type Group struct {
 	Conds []Assignment
-	Rows  []int
 	Size  int
 	// Score is I(O;T|C',E) — above τ means the explanation fails here.
 	Score float64
+
+	// key canonically identifies the refinement (the (AttrIdx, Code)
+	// sequence, packed); it indexes the per-run row-set and score caches.
+	key string
 }
 
 // String renders the refinement like "Continent == Europe".
@@ -86,17 +102,46 @@ type Options struct {
 	// polynomial but large; the cap keeps the search interactive — in
 	// practice unexplained groups surface within a handful of nodes (§5.4).
 	MaxExplored int
-	// Weights are optional IPW weights over the analysis view.
+	// Parallelism bounds the scoring workers (default GOMAXPROCS). It also
+	// sets the frontier batch size (Parallelism × 4 heap nodes are scored
+	// per batch); 1 scores each node inline on pop, with no goroutines.
+	// Results and Stats are identical at any setting.
+	Parallelism int
+	// Weights are optional IPW weights over the analysis view. When set,
+	// the slice must cover every view row.
 	Weights []float64
 	// Trace, when non-nil, receives a lattice-search span and node counters.
 	Trace *obs.Trace
+	// Counters, when non-nil and Trace is nil, receives the node counters
+	// alone — the configuration of servers, which run concurrent searches
+	// and cannot share a span tree but still publish counters.
+	Counters *obs.Counters
 }
 
-// Stats reports search effort.
+// addCounter routes a counter to the trace when present, else to the bare
+// counter set. Both sinks are safe from any goroutine; both may be nil.
+func (o *Options) addCounter(name string, delta int64) {
+	if o.Trace != nil {
+		o.Trace.Add(name, delta)
+		return
+	}
+	o.Counters.Add(name, delta)
+}
+
+// Stats reports search effort. Both fields are schedule-independent: they
+// count the nodes the serial traversal order consumes, not the speculative
+// scoring work (which the groups_scored counter tracks and which grows with
+// Parallelism).
 type Stats struct {
-	Explored int // nodes whose score was evaluated
+	Explored int // nodes whose score was consumed by the traversal
 	Pushed   int // nodes pushed onto the heap
 }
+
+// batchFactor sizes the frontier batch: up to Parallelism × batchFactor
+// heap nodes are scored per round. A factor > 1 amortizes the pool
+// start/join over more work per round; nodes scored beyond the ones the
+// traversal consumes are wasted speculation, so the factor stays small.
+const batchFactor = 4
 
 // TopUnexplained runs Algorithm 2: it returns the k largest context
 // refinements whose explanation score exceeds τ, together with search
@@ -106,9 +151,31 @@ func TopUnexplained(t, o *bins.Encoded, explanation []*bins.Encoded, attrs []Ref
 }
 
 // TopUnexplainedCtx is TopUnexplained honouring ctx: cancellation is checked
-// before every lattice node is scored, so a deadline or an abandoned request
-// stops the search within one CMI evaluation. On cancellation the returned
-// error wraps ctx.Err().
+// before every batch and between worker evaluations, so a deadline or an
+// abandoned request stops the search within one CMI evaluation per worker.
+// On cancellation the returned error wraps ctx.Err() and no worker
+// goroutines outlive the call.
+//
+// The traversal is parallel but its output is byte-identical to the serial
+// one at any Options.Parallelism. The argument:
+//
+//   - The heap's comparison is a total order (size, then depth, then the
+//     (AttrIdx, Code) condition sequence — no two distinct nodes tie), so
+//     the minimum is unique and the pop sequence depends only on the heap's
+//     contents, never on the physical array layout batching reshuffles.
+//   - Scoring batches pop the top nodes, score the not-yet-scored ones
+//     concurrently (memoizing results), and push every node back — the
+//     contents are unchanged, so the consume order is unchanged.
+//   - scoreGroup is a pure function of the group's row set: each evaluation
+//     runs the same float operations in the same order on a private scratch
+//     buffer, whichever worker runs it, so memoized scores are bit-identical
+//     to serially computed ones.
+//   - All state transitions — Explored counting, τ comparison, ancestor
+//     suppression, child expansion, the K and MaxExplored stop conditions —
+//     happen on one goroutine, consuming memoized scores in pop order.
+//
+// Only scheduling-effort counters (subgroup_batches, groups_scored) vary
+// with Parallelism; results and Stats do not.
 func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*bins.Encoded, attrs []RefinementAttr, opts Options) ([]Group, Stats, error) {
 	if opts.K <= 0 {
 		opts.K = 5
@@ -123,10 +190,21 @@ func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*b
 			opts.MinSize = 10
 		}
 	}
+	if opts.MaxExplored <= 0 {
+		opts.MaxExplored = 1500
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	for _, a := range attrs {
 		if a.Enc.Len() != n {
 			return nil, Stats{}, fmt.Errorf("subgroups: attribute %q has %d rows, view has %d", a.Name, a.Enc.Len(), n)
 		}
+	}
+	// A short weight vector would panic inside a scoring worker (scratch is
+	// indexed by view row); reject it up front instead.
+	if opts.Weights != nil && len(opts.Weights) != n {
+		return nil, Stats{}, fmt.Errorf("subgroups: weights cover %d rows, view has %d", len(opts.Weights), n)
 	}
 
 	sp := opts.Trace.Start("subgroup-search")
@@ -143,7 +221,7 @@ func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*b
 			vars[i] = e
 		}
 		explanation = []*bins.Encoded{infotheory.JoinVars("explanation", vars...)}
-		opts.Trace.Add(obs.CompositeRebuilds, 1)
+		opts.addCounter(obs.CompositeRebuilds, 1)
 	}
 
 	var stats Stats
@@ -154,23 +232,41 @@ func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*b
 	for i := range allRows {
 		allRows[i] = i
 	}
-	root := Group{Rows: allRows, Size: n}
-	pushChildren(h, root, attrs, opts, &stats)
+	rc := newRowsetCache(attrs, allRows)
+	sc := newScorer(t, o, explanation, opts.Weights, n, opts.Parallelism)
+	root := Group{Size: n}
+	pushChildren(h, root, allRows, attrs, &opts, &stats, rc)
 
-	if opts.MaxExplored <= 0 {
-		opts.MaxExplored = 1500
-	}
 	var results []Group
-	scratch := make([]float64, n)
 	for h.Len() > 0 && len(results) < opts.K && stats.Explored < opts.MaxExplored {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, fmt.Errorf("subgroups: lattice search: %w", err)
 		}
+		if !sc.has((*h)[0].key) {
+			// The next node to consume is unscored: score a frontier batch —
+			// the top Parallelism × batchFactor nodes — concurrently, then
+			// put them back. Heap contents (and thus the consume order) are
+			// unchanged; only the score memo fills in.
+			var batch []Group
+			limit := opts.Parallelism * batchFactor
+			for len(batch) < limit && h.Len() > 0 {
+				batch = append(batch, heap.Pop(h).(Group))
+			}
+			err := sc.scoreBatch(ctx, batch, rc, &opts)
+			for _, g := range batch {
+				heap.Push(h, g)
+			}
+			opts.addCounter(obs.SubgroupBatches, 1)
+			if err != nil {
+				return nil, stats, fmt.Errorf("subgroups: lattice search: %w", err)
+			}
+		}
 		g := heap.Pop(h).(Group)
 		stats.Explored++
-		g.Score = scoreGroup(t, o, explanation, g.Rows, opts.Weights, scratch)
+		g.Score = sc.take(g.key)
 		if g.Score > opts.Tau {
 			// update(R, C'): insert unless an ancestor already qualified.
+			// Descendants of a qualifying group are pruned (not expanded).
 			dominated := false
 			for _, r := range results {
 				if r.isAncestorOf(g) {
@@ -181,30 +277,182 @@ func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*b
 			if !dominated {
 				results = append(results, g)
 			}
+			rc.drop(g.key)
 			continue
 		}
 		if len(g.Conds) < opts.MaxDepth {
-			pushChildren(h, g, attrs, opts, &stats)
+			rows, hit := rc.rows(g)
+			if hit {
+				opts.addCounter(obs.RowsetCacheHits, 1)
+			}
+			pushChildren(h, g, rows, attrs, &opts, &stats, rc)
 		}
+		rc.drop(g.key)
 	}
-	// Free the row slices of results (callers need conditions and sizes).
-	for i := range results {
-		results[i].Rows = nil
-	}
-	opts.Trace.Add(obs.SubgroupNodesExplored, int64(stats.Explored))
-	opts.Trace.Add(obs.SubgroupNodesPushed, int64(stats.Pushed))
+	opts.addCounter(obs.SubgroupNodesExplored, int64(stats.Explored))
+	opts.addCounter(obs.SubgroupNodesPushed, int64(stats.Pushed))
 	sp.SetInt("explored", int64(stats.Explored))
 	sp.SetInt("pushed", int64(stats.Pushed))
 	sp.SetInt("groups-found", int64(len(results)))
 	return results, stats, nil
 }
 
+// extendKey appends one (attr, code) condition to a parent's canonical key.
+func extendKey(parent string, attrIdx int, code int32) string {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(attrIdx))
+	binary.LittleEndian.PutUint32(b[4:], uint32(code))
+	return parent + string(b[:])
+}
+
+// rowsetCache holds each live lattice node's row-index set, keyed by the
+// node's canonical condition key. A child's row set is computed exactly once
+// — by partitioning its parent's rows when the parent is expanded — instead
+// of being re-intersected from the root at every use; entries are dropped
+// once the node is consumed. The cache is written only between batches (on
+// the traversal goroutine) and read concurrently by scoring workers.
+type rowsetCache struct {
+	attrs []RefinementAttr
+	root  []int
+	m     map[string][]int
+}
+
+func newRowsetCache(attrs []RefinementAttr, root []int) *rowsetCache {
+	return &rowsetCache{attrs: attrs, root: root, m: make(map[string][]int)}
+}
+
+func (rc *rowsetCache) put(key string, rows []int) { rc.m[key] = rows }
+func (rc *rowsetCache) drop(key string)            { delete(rc.m, key) }
+
+// rows returns the group's row set and whether it was served from the cache.
+// The miss path — re-intersecting the group's conditions from the root —
+// exists for robustness only (every pushed node is cached until consumed);
+// it produces the identical ascending row order the partition path does.
+func (rc *rowsetCache) rows(g Group) ([]int, bool) {
+	if r, ok := rc.m[g.key]; ok {
+		return r, true
+	}
+	out := make([]int, 0, g.Size)
+scan:
+	for _, r := range rc.root {
+		for _, c := range g.Conds {
+			if rc.attrs[c.AttrIdx].Enc.Codes[r] != c.Code {
+				continue scan
+			}
+		}
+		out = append(out, r)
+	}
+	return out, false
+}
+
+// scorer memoizes frontier scores and owns the per-worker scratch buffers.
+// The memo is written only after the worker pool of a batch has joined, so
+// the traversal goroutine reads it without synchronization.
+type scorer struct {
+	t, o        *bins.Encoded
+	explanation []*bins.Encoded
+	base        []float64
+	scores      map[string]float64
+	scratch     [][]float64 // one per worker slot, each sized to the view
+	n           int
+}
+
+func newScorer(t, o *bins.Encoded, explanation []*bins.Encoded, base []float64, n, parallelism int) *scorer {
+	return &scorer{
+		t: t, o: o, explanation: explanation, base: base,
+		scores:  make(map[string]float64),
+		scratch: make([][]float64, parallelism),
+		n:       n,
+	}
+}
+
+func (s *scorer) has(key string) bool {
+	_, ok := s.scores[key]
+	return ok
+}
+
+func (s *scorer) take(key string) float64 {
+	v := s.scores[key]
+	delete(s.scores, key)
+	return v
+}
+
+// scoreBatch evaluates every not-yet-scored group of the batch, fanning the
+// evaluations out over up to Parallelism workers. Workers stop claiming new
+// groups once ctx is cancelled and are always joined before return, so none
+// outlives the call; a cancelled batch reports ctx.Err() and stores only
+// the evaluations that completed.
+func (s *scorer) scoreBatch(ctx context.Context, batch []Group, rc *rowsetCache, opts *Options) error {
+	todo := make([]Group, 0, len(batch))
+	for _, g := range batch {
+		if !s.has(g.key) {
+			todo = append(todo, g)
+		}
+	}
+	if len(todo) == 0 {
+		return ctx.Err()
+	}
+	vals := make([]float64, len(todo))
+	done := make([]bool, len(todo))
+	var hits int64
+	workers := opts.Parallelism
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	eval := func(w, i int) {
+		if s.scratch[w] == nil {
+			s.scratch[w] = make([]float64, s.n)
+		}
+		rows, hit := rc.rows(todo[i])
+		if hit {
+			atomic.AddInt64(&hits, 1)
+		}
+		vals[i] = scoreGroup(s.t, s.o, s.explanation, rows, s.base, s.scratch[w])
+		done[i] = true
+	}
+	if workers <= 1 {
+		for i := range todo {
+			if ctx.Err() != nil {
+				break
+			}
+			eval(0, i)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(todo) || ctx.Err() != nil {
+						return
+					}
+					eval(w, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for i, g := range todo {
+		if done[i] {
+			s.scores[g.key] = vals[i]
+		}
+	}
+	opts.addCounter(obs.GroupsScored, int64(len(todo)))
+	opts.addCounter(obs.RowsetCacheHits, hits)
+	return ctx.Err()
+}
+
 // pushChildren generates the children of g: refinements extending it with
 // one assignment of an attribute whose index exceeds the last used index
 // (so every lattice node is generated exactly once). Children are pushed in
 // ascending code order — a map-ordered push would make the heap's tie
-// handling, and with it the traversal, vary between runs.
-func pushChildren(h *groupHeap, g Group, attrs []RefinementAttr, opts Options, stats *Stats) {
+// handling, and with it the traversal, vary between runs. Each child's row
+// set is carved out of the parent's rows here, once, and cached for the
+// child's later scoring and expansion.
+func pushChildren(h *groupHeap, g Group, gRows []int, attrs []RefinementAttr, opts *Options, stats *Stats, rc *rowsetCache) {
 	startAttr := 0
 	if len(g.Conds) > 0 {
 		startAttr = g.Conds[len(g.Conds)-1].AttrIdx + 1
@@ -213,8 +461,8 @@ func pushChildren(h *groupHeap, g Group, attrs []RefinementAttr, opts Options, s
 		enc := attrs[ai].Enc
 		// Partition g's rows by the attribute's codes.
 		parts := make(map[int32][]int)
-		codes := make([]int32, 0, len(parts))
-		for _, r := range g.Rows {
+		var codes []int32
+		for _, r := range gRows {
 			c := enc.Codes[r]
 			if c == bins.Missing {
 				continue
@@ -240,9 +488,10 @@ func pushChildren(h *groupHeap, g Group, attrs []RefinementAttr, opts Options, s
 				Conds: append(append([]Assignment(nil), g.Conds...), Assignment{
 					AttrIdx: ai, Attr: attrs[ai].Name, Code: code, Value: label,
 				}),
-				Rows: rows,
 				Size: len(rows),
+				key:  extendKey(g.key, ai, code),
 			}
+			rc.put(child.key, rows)
 			heap.Push(h, child)
 			stats.Pushed++
 		}
@@ -254,6 +503,11 @@ func pushChildren(h *groupHeap, g Group, attrs []RefinementAttr, opts Options, s
 // here: the plug-in CMI inflates as groups shrink, which would make every
 // small group look "unexplained". With a 0/1 mask the Kish effective sample
 // size equals the group size, so the correction is exact per group.
+//
+// scratch is a caller-owned buffer covering every view row; rows only ever
+// index into it (never into per-attribute bin space), so a refinement
+// attribute with more bins than the exposure/outcome encodings cannot
+// overrun it — pinned by TestTopUnexplainedWideRefinementAttr.
 func scoreGroup(t, o *bins.Encoded, explanation []*bins.Encoded, rows []int, base []float64, scratch []float64) float64 {
 	for i := range scratch {
 		scratch[i] = 0
@@ -271,7 +525,8 @@ func scoreGroup(t, o *bins.Encoded, explanation []*bins.Encoded, rows []int, bas
 // groupHeap is a max-heap of groups by size. Ties are broken on a total
 // order — depth, then the (AttrIdx, Code) condition sequence — so the pop
 // order, and therefore TopUnexplained's output, is identical across runs
-// even when many groups share a size (container/heap is not stable).
+// even when many groups share a size (container/heap is not stable), and
+// independent of the physical array layout the batched frontier reshuffles.
 type groupHeap []Group
 
 func (h groupHeap) Len() int { return len(h) }

@@ -1,9 +1,14 @@
 package subgroups
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"nexus/internal/bins"
 	"nexus/internal/stats"
@@ -172,13 +177,15 @@ func TestTopUnexplainedLengthMismatch(t *testing.T) {
 	}
 }
 
-func TestTopUnexplainedDeterministic(t *testing.T) {
-	// Tie-heavy lattice: every refinement attribute splits the rows into
-	// equal-size parts, so the heap holds many groups of identical size and
-	// any order-dependence — map iteration in pushChildren, unstable heap
-	// tie handling — surfaces as run-to-run output drift. The explanation
-	// is deliberately weak (most groups qualify) and has two attributes, so
-	// the pre-joined composite path is exercised too.
+// tieHeavyFixture builds a tie-heavy lattice: every refinement attribute
+// splits the rows into equal-size parts, so the heap holds many groups of
+// identical size and any order-dependence — map iteration in pushChildren,
+// unstable heap tie handling, batch-boundary effects of the parallel
+// frontier — surfaces as output drift. The explanation is deliberately weak
+// (most groups qualify) and has two attributes, so the pre-joined composite
+// path is exercised too.
+func tieHeavyFixture(tb testing.TB) (te, oe *bins.Encoded, expl []*bins.Encoded, attrs []RefinementAttr) {
+	tb.Helper()
 	n := 4800
 	tv := make([]string, n)
 	ov := make([]string, n)
@@ -204,25 +211,33 @@ func TestTopUnexplainedDeterministic(t *testing.T) {
 	mk := func(name string, vals []string) *bins.Encoded {
 		e, err := bins.Encode(table.NewStringColumn(name, vals), bins.DefaultOptions())
 		if err != nil {
-			t.Fatal(err)
+			tb.Fatal(err)
 		}
 		return e
 	}
-	te, oe := mk("T", tv), mk("O", ov)
-	expl := []*bins.Encoded{mk("Z1", z1), mk("Z2", z2)}
-	attrs := []RefinementAttr{
+	te, oe = mk("T", tv), mk("O", ov)
+	expl = []*bins.Encoded{mk("Z1", z1), mk("Z2", z2)}
+	attrs = []RefinementAttr{
 		{Name: "a1", Enc: mk("a1", a1)},
 		{Name: "a2", Enc: mk("a2", a2)},
 		{Name: "a3", Enc: mk("a3", a3)},
 	}
-	render := func(groups []Group, st Stats) string {
-		var b strings.Builder
-		for _, g := range groups {
-			fmt.Fprintf(&b, "%s|%d|%.17g\n", g.String(), g.Size, g.Score)
-		}
-		fmt.Fprintf(&b, "explored=%d pushed=%d", st.Explored, st.Pushed)
-		return b.String()
+	return
+}
+
+// renderSearch serializes groups and stats with full float precision, so
+// any drift — order, score bits, effort — fails a string compare.
+func renderSearch(groups []Group, st Stats) string {
+	var b strings.Builder
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%s|%d|%.17g\n", g.String(), g.Size, g.Score)
 	}
+	fmt.Fprintf(&b, "explored=%d pushed=%d", st.Explored, st.Pushed)
+	return b.String()
+}
+
+func TestTopUnexplainedDeterministic(t *testing.T) {
+	te, oe, expl, attrs := tieHeavyFixture(t)
 	var first string
 	for run := 0; run < 10; run++ {
 		groups, st, err := TopUnexplained(te, oe, expl, attrs, Options{K: 6, Tau: 0.05})
@@ -230,15 +245,180 @@ func TestTopUnexplainedDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		if run == 0 {
-			first = render(groups, st)
+			first = renderSearch(groups, st)
 			if len(groups) == 0 {
 				t.Fatal("fixture produced no qualifying groups; ties not exercised")
 			}
 			continue
 		}
-		if s := render(groups, st); s != first {
+		if s := renderSearch(groups, st); s != first {
 			t.Fatalf("run %d output differs:\n%s\n--- vs first run ---\n%s", run, s, first)
 		}
+	}
+}
+
+// TestTopUnexplainedParallelismInvariant pins the batched frontier's
+// determinism contract: on a tie-heavy workload the search output — groups,
+// order, score bits, Explored/Pushed stats — is byte-identical at any
+// Parallelism, because batches only memoize scores and never change the
+// heap's contents or the (total-order) pop sequence.
+func TestTopUnexplainedParallelismInvariant(t *testing.T) {
+	te, oe, expl, attrs := tieHeavyFixture(t)
+	var want string
+	for _, p := range []int{1, 2, 4, 8} {
+		groups, st, err := TopUnexplained(te, oe, expl, attrs, Options{K: 6, Tau: 0.05, Parallelism: p})
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", p, err)
+		}
+		got := renderSearch(groups, st)
+		if p == 1 {
+			want = got
+			if len(groups) == 0 {
+				t.Fatal("fixture produced no qualifying groups; ties not exercised")
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("Parallelism=%d output differs:\n%s\n--- vs serial ---\n%s", p, got, want)
+		}
+	}
+}
+
+// errAfterCtx is a context whose Err() starts returning context.Canceled
+// after a fixed number of calls — a deterministic way to cancel mid-
+// traversal, at an exact cooperative checkpoint, without racing a timer.
+type errAfterCtx struct {
+	context.Context
+	calls int64
+	after int64
+}
+
+func (c *errAfterCtx) Err() error {
+	if atomic.AddInt64(&c.calls, 1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestTopUnexplainedCancellation pins the cancellation contract: a context
+// cancelled mid-traversal stops the search promptly with an error wrapping
+// ctx.Err(), and no scoring worker goroutine outlives the call.
+func TestTopUnexplainedCancellation(t *testing.T) {
+	te, oe, expl, attrs := tieHeavyFixture(t)
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		groups, _, err := TopUnexplainedCtx(ctx, te, oe, expl, attrs, Options{K: 6, Tau: 0.05, Parallelism: 4})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if groups != nil {
+			t.Fatalf("cancelled search returned groups: %v", groups)
+		}
+	})
+
+	t.Run("mid-traversal", func(t *testing.T) {
+		before := runtime.NumGoroutine()
+		// Let a few checkpoints pass so at least one batch is scored, then
+		// cancel; the traversal must notice at its next checkpoint.
+		ctx := &errAfterCtx{Context: context.Background(), after: 3}
+		_, st, err := TopUnexplainedCtx(ctx, te, oe, expl, attrs, Options{K: 6, Tau: 0.05, Parallelism: 4})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if st.Explored >= 1500 {
+			t.Fatalf("cancellation did not stop the search early (explored %d)", st.Explored)
+		}
+		// goleak-style goroutine accounting: every scoring worker must have
+		// joined before TopUnexplainedCtx returned, so the count settles
+		// back to the baseline (polling tolerates unrelated runtime
+		// goroutines winding down).
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > before {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("leaked goroutines: %d before, %d after\n%s", before, g, buf[:runtime.Stack(buf, true)])
+		}
+	})
+
+	t.Run("deadline-mid-scoring", func(t *testing.T) {
+		// A real (channel-backed) cancellation while workers are scoring:
+		// the batch joins, the traversal returns the deadline error.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		<-ctx.Done()
+		_, _, err := TopUnexplainedCtx(ctx, te, oe, expl, attrs, Options{K: 6, Tau: 0.05, Parallelism: 4})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	})
+}
+
+// TestTopUnexplainedWideRefinementAttr is the scratch-sizing regression
+// test: a refinement attribute with far more bins than the exposure/outcome
+// encodings (and a Labels table shorter than its code range) must neither
+// overrun the per-worker scratch buffers — which are sized once up front to
+// the view's row count, never to a bin count — nor derail determinism under
+// parallel scoring.
+func TestTopUnexplainedWideRefinementAttr(t *testing.T) {
+	n := 3000
+	tv := make([]string, n)
+	ov := make([]string, n)
+	zv := make([]string, n)
+	wide := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := i % 3 // root encodings: card 3
+		tv[i] = fmt.Sprintf("t%d", c)
+		ov[i] = fmt.Sprintf("o%d", (c+i%2)%3)
+		zv[i] = fmt.Sprintf("z%d", i%2)
+		wide[i] = int32(i % 30) // 30 bins of 100 rows, card 30 >> card(T)
+	}
+	mk := func(name string, vals []string) *bins.Encoded {
+		e, err := bins.Encode(table.NewStringColumn(name, vals), bins.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	te, oe, ze := mk("T", tv), mk("O", ov), mk("Z", zv)
+	// Hand-built encoding: more bins than the root encodings, and only two
+	// labels for thirty codes, so pushChildren's label fallback runs too.
+	wideEnc := &bins.Encoded{Name: "wide", Card: 30, Labels: []string{"w0", "w1"}, Codes: wide}
+	attrs := []RefinementAttr{{Name: "wide", Enc: wideEnc}}
+
+	var want string
+	for _, p := range []int{1, 4} {
+		groups, st, err := TopUnexplained(te, oe, []*bins.Encoded{ze}, attrs,
+			Options{K: 4, Tau: 0.01, MinSize: 50, Parallelism: p})
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", p, err)
+		}
+		if st.Pushed == 0 {
+			t.Fatal("wide attribute pushed no groups; fixture broken")
+		}
+		got := renderSearch(groups, st)
+		if p == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("Parallelism=%d output differs:\n%s\n--- vs serial ---\n%s", p, got, want)
+		}
+	}
+}
+
+// TestTopUnexplainedShortWeights pins the up-front validation that replaced
+// a silent out-of-range panic inside a scoring worker: a weight vector not
+// covering every view row is an error, not a crash.
+func TestTopUnexplainedShortWeights(t *testing.T) {
+	te, oe, ze, attrs := buildData(t, 1000, 8)
+	_, _, err := TopUnexplained(te, oe, []*bins.Encoded{ze}, attrs,
+		Options{K: 3, Tau: 0.2, Weights: make([]float64, 10)})
+	if err == nil || !strings.Contains(err.Error(), "weights") {
+		t.Fatalf("err = %v, want weights-length error", err)
 	}
 }
 

@@ -58,8 +58,15 @@ type Options struct {
 	//
 	// A session-level trace assumes one Explain at a time (span nesting
 	// follows call order). Servers handling concurrent requests should
-	// leave it nil and rely on counters published elsewhere.
+	// leave it nil and set Metrics instead.
 	Trace *obs.Trace
+	// Metrics, when non-nil and Trace is nil, receives the pipeline's
+	// counters alone (selection-bias detections, cache hits, subgroup
+	// search effort, ...). Unlike a Trace it is safe to share across
+	// concurrent Explain calls — this is how nexusd surfaces per-phase
+	// counters on /debug/vars. Ignored when Trace is set (the trace's
+	// counter set is used so the two can never disagree).
+	Metrics *obs.Counters
 	// ExtractCache, when non-nil, memoizes KG extractions across Explain
 	// calls keyed by (table, WHERE clause, link columns, hops), with
 	// singleflight semantics so concurrent requests over the same dataset
@@ -70,10 +77,15 @@ type Options struct {
 
 func (o *Options) applyDefaults() {
 	if o.Core.K == 0 {
+		// A zero K means the caller did not configure Core; swap in the
+		// paper defaults but keep the knobs that are meaningful on their
+		// own (the prune toggles and Parallelism — a -parallelism CLI flag
+		// must not be silently dropped just because K was left default).
 		k := o.Core
 		o.Core = core.DefaultOptions()
 		o.Core.DisableOfflinePrune = k.DisableOfflinePrune
 		o.Core.DisableOnlinePrune = k.DisableOnlinePrune
+		o.Core.Parallelism = k.Parallelism
 	}
 	if o.Hops == 0 {
 		o.Hops = 1

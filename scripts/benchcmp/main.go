@@ -1,0 +1,159 @@
+// Command benchcmp compares two bench-profile JSON documents (BENCH_obs.json
+// / BENCH_kg.json) and exits non-zero when the fresh run regresses against
+// the committed baseline. scripts/check_bench.sh drives it in CI.
+//
+// The comparison walks both documents and collects every numeric leaf under
+// its dotted path. Two metric classes get different treatment:
+//
+//   - Wall-clock metrics (paths containing "_ns": total_ns, prepare_ns,
+//     every leaf under phases_ns, ...): noisy across runs and machines. Only
+//     an *increase* beyond -wall-tolerance fails; getting faster is never a
+//     regression, and baselines under -wall-floor ns (default 10ms) are
+//     skipped entirely — a 12µs parse span doubling is scheduler noise, not
+//     signal.
+//   - Everything else (counters: nodes explored, cache hits, HTTP requests,
+//     CI tests, ...): deterministic by construction — the pipeline is seeded
+//     and the lattice traversal is schedule-invariant — so a deviation beyond
+//     -tolerance in EITHER direction fails. A legitimate behaviour change
+//     must regenerate the committed baseline in the same commit, which makes
+//     the comparison exact again.
+//
+// A key present in one document but not the other is always an error: it
+// means the baseline predates a metric rename and must be regenerated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "committed baseline JSON")
+		newPath   = flag.String("new", "", "freshly generated JSON")
+		tol       = flag.Float64("tolerance", 0.25, "allowed relative deviation for counters (either direction)")
+		wallTol   = flag.Float64("wall-tolerance", 0.25, "allowed relative increase for *_ns wall-clock metrics")
+		wallFloor = flag.Float64("wall-floor", 1e7, "ignore wall-clock metrics whose baseline is below this many ns — sub-10ms spans are scheduler noise")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -old baseline.json -new fresh.json [-tolerance 0.25] [-wall-tolerance 0.25]")
+		os.Exit(2)
+	}
+	oldM, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newM, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var failures []string
+	keys := map[string]bool{}
+	for k := range oldM {
+		keys[k] = true
+	}
+	for k := range newM {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	for _, k := range sorted {
+		ov, inOld := oldM[k]
+		nv, inNew := newM[k]
+		switch {
+		case !inOld:
+			failures = append(failures, fmt.Sprintf("%s: present only in %s — regenerate the committed baseline", k, *newPath))
+		case !inNew:
+			failures = append(failures, fmt.Sprintf("%s: present only in %s — metric disappeared", k, *oldPath))
+		case strings.Contains(k, "_ns"):
+			if ov < *wallFloor {
+				continue
+			}
+			if bad, d := exceeds(ov, nv, *wallTol, true); bad {
+				failures = append(failures, fmt.Sprintf("%s: wall clock %+.1f%% (%.3g → %.3g, tolerance %.0f%%)",
+					k, 100*d, ov, nv, 100**wallTol))
+			}
+		default:
+			if bad, d := exceeds(ov, nv, *tol, false); bad {
+				failures = append(failures, fmt.Sprintf("%s: counter %+.1f%% (%.6g → %.6g, tolerance %.0f%%)",
+					k, 100*d, ov, nv, 100**tol))
+			}
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %s vs %s: %d regression(s):\n", *oldPath, *newPath, len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %s vs %s: %d metrics within tolerance\n", *oldPath, *newPath, len(sorted))
+}
+
+// exceeds reports whether new deviates from old beyond tol, and the relative
+// deviation. With increaseOnly, shrinking never fails. A zero baseline only
+// tolerates a zero measurement (relative deviation is undefined otherwise).
+func exceeds(old, new, tol float64, increaseOnly bool) (bool, float64) {
+	if old == 0 {
+		return new != 0, 0
+	}
+	d := (new - old) / old
+	if increaseOnly {
+		return d > tol, d
+	}
+	if d < 0 {
+		return -d > tol, d
+	}
+	return d > tol, d
+}
+
+// load flattens every numeric leaf of the JSON document into dotted-path
+// keys. Non-numeric leaves (query strings, labels) don't gate.
+func load(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", doc, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), child, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI bench-regression gate: re-generate the bench profiles (BENCH_obs.json,
+# BENCH_kg.json) on this machine and compare them against the committed
+# baselines with scripts/benchcmp. Deterministic counters must stay within
+# 25% (they should match exactly — a drift means the baseline was not
+# regenerated after a behaviour change); wall-clock metrics only fail on an
+# increase beyond BENCH_WALL_TOLERANCE (default 0.25 — CI sets it higher
+# because shared runners are noisy and differ from the machine that produced
+# the committed baseline).
+#
+# The profile tests overwrite the BENCH files in place, so the committed
+# versions are snapshotted first and always restored on exit — the gate never
+# leaves the working tree dirty.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WALL_TOL="${BENCH_WALL_TOLERANCE:-0.25}"
+COUNTER_TOL="${BENCH_COUNTER_TOLERANCE:-0.25}"
+
+snap=$(mktemp -d)
+restore() {
+    cp "$snap"/BENCH_obs.json "$snap"/BENCH_kg.json . 2>/dev/null || true
+    rm -rf "$snap"
+}
+trap restore EXIT
+cp BENCH_obs.json BENCH_kg.json "$snap"/
+
+echo "== regenerating bench profiles =="
+go test -run 'TestBenchObsJSON|TestBenchKGJSON' -count=1 .
+
+status=0
+for f in BENCH_obs.json BENCH_kg.json; do
+    echo "== comparing $f (counters ±${COUNTER_TOL}, wall +${WALL_TOL}) =="
+    go run ./scripts/benchcmp \
+        -old "$snap/$f" -new "$f" \
+        -tolerance "$COUNTER_TOL" -wall-tolerance "$WALL_TOL" || status=1
+done
+
+exit $status

@@ -77,7 +77,9 @@ require_section() {
 }
 require_section docs/ARCHITECTURE.md '## KG backends'
 require_section docs/ARCHITECTURE.md '## Hot path & caching'
+require_section docs/ARCHITECTURE.md '## Subgroup lattice parallelism'
 require_section docs/ARCHITECTURE.md '## Observability invariant'
+require_section README.md '### Subgroup lattice parallelism'
 require_section docs/API.md '## kgd wire protocol'
 require_section docs/API.md '## Timeouts, cancellation, shutdown'
 
