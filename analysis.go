@@ -94,7 +94,7 @@ func (s *Session) Prepare(sql string) (*Analysis, error) {
 // problem, honouring ctx through every phase (query execution, encoding,
 // KG extraction). On cancellation the returned error wraps ctx.Err().
 func (s *Session) PrepareCtx(ctx context.Context, sql string) (*Analysis, error) {
-	psp := s.opts.Trace.Start("parse")
+	psp := s.traceFor(ctx).Start("parse")
 	q, err := sqlx.Parse(sql)
 	psp.End()
 	if err != nil {
@@ -110,7 +110,7 @@ func (s *Session) PrepareQuery(q *sqlx.Query) (*Analysis, error) {
 
 // PrepareQueryCtx is PrepareCtx for a pre-parsed query.
 func (s *Session) PrepareQueryCtx(ctx context.Context, q *sqlx.Query) (*Analysis, error) {
-	tr := s.opts.Trace
+	tr := s.traceFor(ctx)
 	psp := tr.Start("prepare")
 	defer psp.End()
 
@@ -480,7 +480,7 @@ func (a *Analysis) Explain() (*Report, error) {
 func (a *Analysis) ExplainCtx(ctx context.Context) (*Report, error) {
 	opts := a.session.opts.Core
 	if opts.Trace == nil {
-		opts.Trace = a.session.opts.Trace
+		opts.Trace = a.session.traceFor(ctx)
 	}
 	ex, err := core.ExplainCtx(ctx, a.T, a.O, a.Candidates, opts)
 	if err != nil {
@@ -589,7 +589,7 @@ func (r *Report) SubgroupsWithOptions(ctx context.Context, opts subgroups.Option
 		opts.Parallelism = sess.opts.Core.Parallelism
 	}
 	if opts.Trace == nil {
-		opts.Trace = sess.opts.Trace
+		opts.Trace = sess.traceFor(ctx)
 	}
 	if opts.Counters == nil {
 		opts.Counters = sess.opts.Metrics

@@ -395,6 +395,31 @@ func BenchmarkExplainTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkExplainMetrics is BenchmarkExplain with the full serving-grade
+// metrics pipeline attached — a per-request trace whose spans feed a
+// StageSink (per-stage latency histograms in a Registry) and whose counters
+// land in the registry's shared set, exactly what internal/server wires up
+// for every job. The bar: within 5% of BenchmarkExplain.
+func BenchmarkExplainMetrics(b *testing.B) {
+	a, err := benchAnalysis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	registry := obs.NewRegistry(nil)
+	stages := obs.NewStageSink(registry)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		tr := obs.NewWithCounters("bench", registry.Counters())
+		tr.AddSink(stages)
+		opts.Trace = tr
+		if _, err := core.Explain(a.T, a.O, a.Candidates, opts); err != nil {
+			b.Fatal(err)
+		}
+		tr.Close()
+	}
+}
+
 // benchObsEntry is one workload's record in BENCH_obs.json.
 type benchObsEntry struct {
 	Query    string           `json:"query"`
@@ -406,9 +431,17 @@ type benchObsEntry struct {
 	// searches are byte-identical; only scheduling differs. On a single-core
 	// runner the two are comparable (batching costs a few percent); the ratio
 	// is meaningful on multi-core hardware.
-	SubgroupsSerialNS   int64            `json:"subgroups_serial_ns"`
-	SubgroupsParallelNS int64            `json:"subgroups_parallel_ns"`
-	Counters            map[string]int64 `json:"counters"`
+	SubgroupsSerialNS   int64 `json:"subgroups_serial_ns"`
+	SubgroupsParallelNS int64 `json:"subgroups_parallel_ns"`
+	// Single-run core.Explain wall clock over one prepared analysis with
+	// tracing off (nil trace — every span and counter on the allocation-free
+	// no-op path) vs. fully instrumented (live trace feeding a StageSink, as
+	// internal/server attaches per request). benchcmp gates both
+	// increase-only, so the instrumented number backs the metrics-are-cheap
+	// claim across commits.
+	ExplainNS             int64            `json:"explain_ns"`
+	ExplainInstrumentedNS int64            `json:"explain_instrumented_ns"`
+	Counters              map[string]int64 `json:"counters"`
 }
 
 // TestBenchObsJSON runs a traced end-to-end Explain for the SO and Flights
@@ -460,14 +493,41 @@ func TestBenchObsJSON(t *testing.T) {
 				w.key, serialGroups, parallelGroups)
 		}
 		snap := tr.Close()
+		// Explain-only timing pair on a separate untraced session, so the
+		// runs neither pollute the profile trace above nor reuse its spans:
+		// nil trace (the no-op path) vs. a live trace with a StageSink.
+		plain := nexus.NewSession(world.Graph, nil)
+		plain.RegisterTable(ds.Name, ds.Table, ds.LinkColumns...)
+		plain.ExcludeCandidates(ds.Name, ds.ExcludeCandidates...)
+		a, err := plain.Prepare(w.query)
+		if err != nil {
+			t.Fatalf("%s: prepare for explain timing: %v", w.key, err)
+		}
+		timeExplain := func(trace *obs.Trace) time.Duration {
+			opts := benchOpts()
+			opts.Trace = trace
+			start := time.Now()
+			if _, err := core.Explain(a.T, a.O, a.Candidates, opts); err != nil {
+				t.Fatalf("%s: timed explain: %v", w.key, err)
+			}
+			trace.Close()
+			return time.Since(start)
+		}
+		timeExplain(nil) // warm the per-analysis caches so the pair compares fairly
+		explainNS := timeExplain(nil)
+		instrumented := obs.New(w.key)
+		instrumented.AddSink(obs.NewStageSink(obs.NewRegistry(nil)))
+		instrumentedNS := timeExplain(instrumented)
 		out[w.key] = benchObsEntry{
-			Query:               w.query,
-			Rows:                ds.Table.NumRows(),
-			TotalNS:             snap.TotalNS,
-			PhasesNS:            snap.Flatten(),
-			SubgroupsSerialNS:   serialNS.Nanoseconds(),
-			SubgroupsParallelNS: parallelNS.Nanoseconds(),
-			Counters:            snap.Counters,
+			Query:                 w.query,
+			Rows:                  ds.Table.NumRows(),
+			TotalNS:               snap.TotalNS,
+			PhasesNS:              snap.Flatten(),
+			SubgroupsSerialNS:     serialNS.Nanoseconds(),
+			SubgroupsParallelNS:   parallelNS.Nanoseconds(),
+			ExplainNS:             explainNS.Nanoseconds(),
+			ExplainInstrumentedNS: instrumentedNS.Nanoseconds(),
+			Counters:              snap.Counters,
 		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
@@ -483,6 +543,10 @@ func TestBenchObsJSON(t *testing.T) {
 		}
 		if len(e.PhasesNS) == 0 {
 			t.Errorf("%s: expected per-phase durations", key)
+		}
+		if e.ExplainNS <= 0 || e.ExplainInstrumentedNS <= 0 {
+			t.Errorf("%s: expected positive explain timings, got %d / %d",
+				key, e.ExplainNS, e.ExplainInstrumentedNS)
 		}
 		for _, c := range []string{obs.GroupsScored, obs.SubgroupBatches, obs.SubgroupNodesExplored} {
 			if e.Counters[c] == 0 {

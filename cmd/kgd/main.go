@@ -7,16 +7,23 @@
 //	POST /kg/v1/properties   batch property maps
 //	POST /kg/v1/class-props  class property universe
 //	GET  /kg/v1/stats        per-endpoint request counters
+//	GET  /metrics            Prometheus text exposition (prefix kgd_)
+//	GET  /debug/slow         slowest captured requests (with -slow-threshold)
 //	GET  /healthz            liveness (never fault-injected)
 //
 // Usage:
 //
 //	kgd -seed 11 -addr :7070
 //	kgd -seed 11 -addr :7070 -fail-rate 0.2 -latency 5ms   # resilience testing
+//	kgd -seed 11 -addr :7070 -debug-addr 127.0.0.1:7071    # pprof sidecar
 //
 // -fail-rate injects deterministic (seeded) HTTP 500s and -latency adds a
 // fixed delay per request, to exercise the client's retry and batching
-// under realistic network behavior. See docs/API.md for the wire protocol.
+// under realistic network behavior. -debug-addr serves net/http/pprof
+// (plus /metrics and /debug/slow) on a separate, typically loopback-only
+// listener; with -slow-threshold set, SIGQUIT dumps the captured slow
+// requests as JSONL to stderr without stopping the process. See
+// docs/API.md for the wire protocol.
 package main
 
 import (
@@ -24,11 +31,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"nexus/internal/httpdebug"
 	"nexus/internal/kg"
 	"nexus/internal/kgserve"
 )
@@ -55,6 +64,9 @@ func run(args []string) error {
 		faultSeed    = fs.Uint64("fault-seed", 1, "RNG seed for fault injection")
 		maxBatch     = fs.Int("max-batch", 65536, "reject larger batch requests with 400")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof, /metrics and /debug/slow on this extra address (keep it loopback-only)")
+		slowThresh   = fs.Duration("slow-threshold", 0, "capture requests at least this slow on /debug/slow (0 = off)")
+		slowKeep     = fs.Int("slow-keep", 32, "retain this many slowest captured requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,12 +83,28 @@ func run(args []string) error {
 	}
 
 	srv := kgserve.New(kgserve.Config{
-		Source:   world.Graph,
-		FailRate: *failRate,
-		Latency:  *latency,
-		Seed:     *faultSeed,
-		MaxBatch: *maxBatch,
+		Source:        world.Graph,
+		FailRate:      *failRate,
+		Latency:       *latency,
+		Seed:          *faultSeed,
+		MaxBatch:      *maxBatch,
+		SlowThreshold: *slowThresh,
+		SlowKeep:      *slowKeep,
 	})
+
+	if srv.SlowLog() != nil {
+		defer httpdebug.DumpSlowOnSIGQUIT(srv.SlowLog(), os.Stderr)()
+	}
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: httpdebug.Mux(srv.Registry(), "kgd", srv.SlowLog())}
+		go func() {
+			log.Printf("debug listener (pprof, /metrics, /debug/slow) on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

@@ -6,15 +6,21 @@
 //	GET  /v1/jobs/{id} — async job status/result
 //	GET  /healthz      — liveness
 //	GET  /debug/vars   — expvar JSON with the server's counters under "nexusd"
+//	GET  /metrics      — Prometheus text exposition (see docs/API.md "Metrics")
+//	GET  /debug/slow   — slowest captured explanations (with -slow-threshold)
 //
 // Usage:
 //
 //	nexusd -dataset so -addr :8080
 //	nexusd -csv data.csv -table mydata -links Country -addr :8080
+//	nexusd -dataset so -addr :8080 -debug-addr 127.0.0.1:8081 -slow-threshold 2s
 //
-// The process drains gracefully on SIGTERM/SIGINT: in-flight explanations
-// finish (bounded by -drain-timeout) before the listener closes. See
-// docs/API.md for the wire protocol.
+// -debug-addr serves net/http/pprof (plus /metrics and /debug/slow) on a
+// separate, typically loopback-only listener. With -slow-threshold set,
+// SIGQUIT dumps the captured slow requests as JSONL to stderr without
+// stopping the process. The process drains gracefully on SIGTERM/SIGINT:
+// in-flight explanations finish (bounded by -drain-timeout) before the
+// listener closes. See docs/API.md for the wire protocol.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"nexus"
+	"nexus/internal/httpdebug"
 	"nexus/internal/kg"
 	"nexus/internal/kgremote"
 	"nexus/internal/obs"
@@ -68,12 +76,20 @@ func run(args []string) error {
 		timeout      = fs.Duration("timeout", 60*time.Second, "default per-request timeout")
 		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof, /metrics and /debug/slow on this extra address (keep it loopback-only)")
+		slowThresh   = fs.Duration("slow-threshold", 0, "capture explanations at least this slow on /debug/slow (0 = off)")
+		slowKeep     = fs.Int("slow-keep", 32, "retain this many slowest captured explanations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	metrics := obs.NewCounters()
+	// One registry per daemon: the serving histograms and gauges plus the
+	// pipeline counter set, all rendered by GET /metrics; the counter set
+	// is shared with the session and the extraction cache so /debug/vars
+	// and /metrics can never disagree.
+	registry := obs.NewRegistry(nil)
+	metrics := registry.Counters()
 	log.Printf("generating knowledge graph (seed %d)...", *seed)
 	world := kg.NewWorld(kg.WorldConfig{Seed: *seed})
 	// The local world is always generated — the synthetic datasets sample
@@ -82,16 +98,18 @@ func run(args []string) error {
 	var src kg.Source = world.Graph
 	if *kgURL != "" {
 		log.Printf("using remote knowledge graph at %s", *kgURL)
-		src = kgremote.New(*kgURL, kgremote.Options{Counters: metrics})
+		src = kgremote.New(*kgURL, kgremote.Options{Counters: metrics, Registry: registry})
 	}
 	sessOpts := nexus.Options{
 		Hops:       *hops,
 		DisableIPW: *noIPW,
 		// One cache per daemon: concurrent requests over the same dataset
 		// context share a single KG extraction. No Trace — the session
-		// trace is single-request machinery; servers use counters only —
-		// Metrics routes every pipeline counter (bias detections, cache
-		// hits, subgroup-search effort) to /debug/vars.
+		// trace is single-request machinery; the server attaches a
+		// per-request trace to each job's context instead (feeding the
+		// per-stage histograms and slow capture), while Metrics routes
+		// every pipeline counter (bias detections, cache hits,
+		// subgroup-search effort) to /debug/vars and /metrics.
 		Metrics:      metrics,
 		ExtractCache: nexus.NewExtractionCache(metrics),
 	}
@@ -141,7 +159,25 @@ func run(args []string) error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Metrics:        metrics,
+		Registry:       registry,
+		SlowThreshold:  *slowThresh,
+		SlowKeep:       *slowKeep,
+		ErrorLog:       log.Default(),
 	})
+
+	if srv.SlowLog() != nil {
+		defer httpdebug.DumpSlowOnSIGQUIT(srv.SlowLog(), os.Stderr)()
+	}
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: httpdebug.Mux(registry, "nexusd", srv.SlowLog())}
+		go func() {
+			log.Printf("debug listener (pprof, /metrics, /debug/slow) on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

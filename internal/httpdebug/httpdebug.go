@@ -1,0 +1,172 @@
+// Package httpdebug is the serving-side glue between package obs and
+// net/http, shared by nexusd and kgd: a request-latency middleware, the
+// GET /metrics Prometheus exposition handler, the GET /debug/slow
+// slow-request report, an opt-in debug mux bundling net/http/pprof with
+// both, and the SIGQUIT slow-log dump. It exists so package obs itself
+// never imports net/http — the metric types stay usable from the core
+// pipeline and the benchmarks without dragging in a server stack.
+package httpdebug
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nexus/internal/obs"
+)
+
+// Outcome classes of the request-latency histogram's "outcome" label: one
+// per status family rather than one per status code, so cardinality stays
+// fixed no matter what a handler returns.
+const (
+	OutcomeOK          = "ok"           // 1xx-3xx
+	OutcomeClientError = "client_error" // 4xx
+	OutcomeServerError = "server_error" // 5xx
+)
+
+func outcomeClass(status int) string {
+	switch {
+	case status >= 500:
+		return OutcomeServerError
+	case status >= 400:
+		return OutcomeClientError
+	default:
+		return OutcomeOK
+	}
+}
+
+// statusWriter captures the status code a handler wrote so the middleware
+// can label the latency sample by outcome. A handler that never calls
+// WriteHeader implicitly wrote 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Instrument wraps h so every request records its end-to-end latency into
+// reg's hist histogram (UnitSeconds) labelled {route=route, outcome=...}.
+// The three outcome series are created up front, so the per-request path
+// never takes the registry lock — one small map lookup plus one
+// allocation-free Record. A nil registry returns h unchanged.
+func Instrument(reg *obs.Registry, hist, route string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	outcomes := map[string]*obs.Histogram{}
+	for _, o := range []string{OutcomeOK, OutcomeClientError, OutcomeServerError} {
+		outcomes[o] = reg.Histogram(hist, obs.UnitSeconds, "route", route, "outcome", o)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		outcomes[outcomeClass(status)].RecordSince(start)
+	})
+}
+
+// MetricsHandler serves reg in Prometheus text format with every metric
+// name prefixed by ns — GET /metrics for either daemon.
+func MetricsHandler(reg *obs.Registry, ns string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w, ns)
+	})
+}
+
+// slowReport is the JSON shape of GET /debug/slow.
+type slowReport struct {
+	Enabled     bool    `json:"enabled"`
+	ThresholdMS float64 `json:"threshold_ms,omitempty"`
+	// Seen counts every over-threshold request observed, retained or not.
+	Seen    int64           `json:"seen"`
+	Entries []obs.SlowEntry `json:"entries"`
+}
+
+// SlowHandler reports the retained slow-request captures, slowest first.
+// A nil log (capture disabled) reports enabled=false and no entries.
+func SlowHandler(l *obs.SlowLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rep := slowReport{
+			Enabled:     l != nil,
+			ThresholdMS: float64(l.Threshold()) / float64(time.Millisecond),
+			Seen:        l.Seen(),
+			Entries:     l.Snapshot(),
+		}
+		if rep.Entries == nil {
+			rep.Entries = []obs.SlowEntry{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+}
+
+// Mux bundles the operator-facing debug surface served on the opt-in
+// -debug-addr listener: net/http/pprof under /debug/pprof/, the metrics
+// exposition under /metrics and the slow-request report under
+// /debug/slow. pprof stays off the public mux on purpose — profiles can
+// stall the process and leak internals, so they bind to a separate
+// (typically loopback) address.
+func Mux(reg *obs.Registry, ns string, slow *obs.SlowLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", MetricsHandler(reg, ns))
+	mux.Handle("/debug/slow", SlowHandler(slow))
+	return mux
+}
+
+// DumpSlowOnSIGQUIT installs a SIGQUIT handler that writes the slow log
+// as JSONL to w (conventionally stderr) each time the signal arrives —
+// kill -QUIT is the operator's "what has been slow?" without scraping.
+// The process keeps running afterwards. Returns a stop function that
+// uninstalls the handler. A nil log installs nothing.
+func DumpSlowOnSIGQUIT(l *obs.SlowLog, w io.Writer) (stop func()) {
+	if l == nil {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				l.WriteJSONL(w)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -60,6 +60,12 @@ type Options struct {
 	// Counters receives kg_cache_hits/kg_cache_misses/kg_http_requests/
 	// kg_http_retries. Nil disables recording (obs no-op convention).
 	Counters *obs.Counters
+	// Registry, when non-nil, additionally records per-attempt HTTP latency
+	// (kg_http_attempt_seconds) and the retries spent per logical request
+	// (kg_http_request_retries, a histogram so retry storms are visible as
+	// a distribution, not just a rate). Nil disables both (obs no-op
+	// convention).
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +114,10 @@ type Client struct {
 	ents    *lru[kg.EntityID, kg.Entity]
 	props   *lru[kg.EntityID, kg.Props]
 	resolve *lru[string, kg.Link]
+
+	// Serving-metric instruments, nil (no-op) without Options.Registry.
+	attemptSec *obs.Histogram // kg_http_attempt_seconds, per HTTP attempt
+	reqRetries *obs.Histogram // kg_http_request_retries, per logical request
 }
 
 // Statically assert the Source contract.
@@ -118,12 +128,14 @@ var _ kg.Source = (*Client)(nil)
 func New(baseURL string, opts Options) *Client {
 	opts = opts.withDefaults()
 	return &Client{
-		base:    strings.TrimRight(baseURL, "/"),
-		opts:    opts,
-		rng:     stats.NewRNG(opts.Seed),
-		ents:    newLRU[kg.EntityID, kg.Entity](opts.CacheSize),
-		props:   newLRU[kg.EntityID, kg.Props](opts.CacheSize),
-		resolve: newLRU[string, kg.Link](opts.CacheSize),
+		base:       strings.TrimRight(baseURL, "/"),
+		opts:       opts,
+		rng:        stats.NewRNG(opts.Seed),
+		ents:       newLRU[kg.EntityID, kg.Entity](opts.CacheSize),
+		props:      newLRU[kg.EntityID, kg.Props](opts.CacheSize),
+		resolve:    newLRU[string, kg.Link](opts.CacheSize),
+		attemptSec: opts.Registry.Histogram("kg_http_attempt_seconds", obs.UnitSeconds),
+		reqRetries: opts.Registry.Histogram("kg_http_request_retries", obs.UnitNone),
 	}
 }
 
@@ -141,8 +153,11 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 		return fmt.Errorf("kgremote: encode %s: %w", path, err)
 	}
 	var lastErr error
+	retries := 0
+	defer func() { c.reqRetries.Record(int64(retries)) }()
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
+			retries = attempt
 			c.opts.Counters.Add(obs.KGHTTPRetries, 1)
 			if err := c.backoff(ctx, attempt); err != nil {
 				return fmt.Errorf("kgremote: %s: %w (last error: %v)", path, err, lastErr)
@@ -165,6 +180,7 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 }
 
 func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) error {
+	defer c.attemptSec.RecordSince(time.Now())
 	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))

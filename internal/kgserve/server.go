@@ -21,10 +21,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nexus/internal/httpdebug"
 	"nexus/internal/kg"
 	"nexus/internal/kgwire"
+	"nexus/internal/obs"
 	"nexus/internal/stats"
 )
+
+// CtrInjected counts injected faults on the registry's counter set
+// (exposed as kgd_faults_injected_total on /metrics).
+const CtrInjected = "faults_injected"
 
 // Config configures a Server.
 type Config struct {
@@ -41,11 +47,23 @@ type Config struct {
 	Seed uint64
 	// MaxBatch rejects oversized batch requests with 400 (default 65536).
 	MaxBatch int
+	// Registry collects serving metrics for GET /metrics: request latency
+	// by route and outcome, an in-flight gauge, and the fault counter. Nil
+	// builds a private registry, so /metrics is always available.
+	Registry *obs.Registry
+	// SlowThreshold enables slow-request capture (GET /debug/slow, SIGQUIT
+	// dump in cmd/kgd): requests at or over the threshold compete for the
+	// SlowKeep (default 32) slowest slots. Zero disables capture.
+	SlowThreshold time.Duration
+	SlowKeep      int
 }
 
 // Server handles the kgwire endpoints. Construct with New.
 type Server struct {
-	cfg Config
+	cfg      Config
+	registry *obs.Registry
+	slow     *obs.SlowLog
+	inFlight *obs.Gauge
 
 	mu  sync.Mutex // guards rng
 	rng *stats.RNG
@@ -65,22 +83,68 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 65536
 	}
-	return &Server{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry(nil)
+	}
+	if cfg.SlowKeep <= 0 {
+		cfg.SlowKeep = 32
+	}
+	return &Server{
+		cfg:      cfg,
+		registry: cfg.Registry,
+		slow:     obs.NewSlowLog(cfg.SlowThreshold, cfg.SlowKeep),
+		inFlight: cfg.Registry.Gauge("requests_in_flight"),
+		rng:      stats.NewRNG(cfg.Seed),
+	}
 }
 
-// Handler returns the HTTP handler serving the kgwire protocol.
+// Registry exposes the server's metric registry (rendered at /metrics).
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// SlowLog exposes the slow-request capture (nil when disabled), e.g. for
+// cmd/kgd's SIGQUIT dump.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
+
+// Handler returns the HTTP handler serving the kgwire protocol. Every
+// route — including /metrics itself — is wrapped in the request-latency
+// middleware, so http_request_seconds{route,outcome} covers the surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST "+kgwire.PathResolve, fault(s, s.handleResolve))
-	mux.HandleFunc("POST "+kgwire.PathEntities, fault(s, s.handleEntities))
-	mux.HandleFunc("POST "+kgwire.PathProperties, fault(s, s.handleProperties))
-	mux.HandleFunc("POST "+kgwire.PathClassProps, fault(s, s.handleClassProps))
-	mux.HandleFunc("GET "+kgwire.PathStats, s.handleStats)
-	mux.HandleFunc("GET "+kgwire.PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, httpdebug.Instrument(s.registry, "http_request_seconds", label, s.observe(h)))
+	}
+	route("POST "+kgwire.PathResolve, "resolve", fault(s, s.handleResolve))
+	route("POST "+kgwire.PathEntities, "entities", fault(s, s.handleEntities))
+	route("POST "+kgwire.PathProperties, "properties", fault(s, s.handleProperties))
+	route("POST "+kgwire.PathClassProps, "classprops", fault(s, s.handleClassProps))
+	route("GET "+kgwire.PathStats, "stats", s.handleStats)
+	route("GET /metrics", "metrics", httpdebug.MetricsHandler(s.registry, "kgd").ServeHTTP)
+	route("GET /debug/slow", "slow", httpdebug.SlowHandler(s.slow).ServeHTTP)
+	route("GET "+kgwire.PathHealthz, "healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
 	return mux
+}
+
+// observe tracks in-flight requests and offers every finished request to
+// the slow log (which keeps only over-threshold ones). kgd handlers are
+// thin batch loops with no span tree, so slow entries carry the method,
+// path and wall clock but no trace events.
+func (s *Server) observe(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inFlight.Inc()
+		defer s.inFlight.Dec()
+		start := time.Now()
+		h(w, r)
+		if s.slow != nil {
+			s.slow.Record(obs.SlowEntry{
+				ID:    r.Method + " " + r.URL.Path,
+				Start: start,
+				DurNS: int64(time.Since(start)),
+			})
+		}
+	}
 }
 
 // Stats returns the per-endpoint request counts and the number of
@@ -130,6 +194,7 @@ func fault(s *Server, h http.HandlerFunc) http.HandlerFunc {
 			s.mu.Unlock()
 			if fail {
 				s.injected.Add(1)
+				s.registry.Counters().Add(CtrInjected, 1)
 				http.Error(w, "injected fault", http.StatusInternalServerError)
 				return
 			}

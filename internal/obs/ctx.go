@@ -1,0 +1,29 @@
+package obs
+
+import "context"
+
+// Context plumbing for per-request traces. A session-level Trace assumes
+// one Explain at a time (span nesting follows call order), so a server
+// handling concurrent requests cannot set nexus.Options.Trace. Instead it
+// builds one short-lived Trace per request — typically with
+// NewWithCounters over the server's shared counter set plus a StageSink —
+// and attaches it to the request context with WithTrace; the pipeline
+// resolves its trace per call via TraceFrom, preferring the context's
+// trace over the session's. Requests without a context trace keep the
+// session-level behaviour, including the nil no-op path.
+
+type traceCtxKey struct{}
+
+// WithTrace returns a context carrying tr. A nil tr returns ctx unchanged.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}

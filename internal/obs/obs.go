@@ -201,7 +201,19 @@ type Trace struct {
 
 // New starts a trace whose root span carries the given name.
 func New(name string) *Trace {
-	t := &Trace{counters: NewCounters(), start: time.Now()}
+	return NewWithCounters(name, nil)
+}
+
+// NewWithCounters is New with the trace's counter set supplied by the
+// caller (nil allocates a private one, exactly like New). Sharing one
+// concurrency-safe Counters across many short-lived traces is how a
+// server gives every request its own span tree while all requests keep
+// accumulating into the same scrape-able counter totals.
+func NewWithCounters(name string, c *Counters) *Trace {
+	if c == nil {
+		c = NewCounters()
+	}
+	t := &Trace{counters: c, start: time.Now()}
 	t.root = &Span{tr: t, Name: name, start: t.start, alloc0: allocBytes()}
 	t.current = t.root
 	return t

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime/metrics"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), stdlib only. The
+// naming conventions are applied mechanically so every series a registry
+// renders passes the metric-name lint:
+//
+//   - every name is namespaced (`<ns>_...`) and sanitized to snake_case;
+//   - counters get a `_total` suffix if the registered name lacks one
+//     (obs counter names like "pruned.offline.high-entropy" become
+//     `<ns>_pruned_offline_high_entropy_total`);
+//   - UnitSeconds histograms are recorded in nanoseconds and exposed in
+//     base-unit seconds (bucket bounds and `_sum` divided by 1e9);
+//   - a handful of conventional unprefixed `go_*` runtime series
+//     (goroutines, heap, GC) ride along.
+//
+// Histogram buckets are emitted cumulatively, one `le` per non-empty
+// bucket plus `+Inf`, so output size tracks the spread of observed values
+// rather than the 248-bucket layout.
+
+// WritePrometheus renders the registry in Prometheus text format with
+// every metric name prefixed by ns. Nil-safe (renders only runtime
+// metrics).
+func (r *Registry) WritePrometheus(w io.Writer, ns string) error {
+	pw := &promWriter{w: w}
+	if r != nil {
+		r.writeCounters(pw, ns)
+		r.writeGauges(pw, ns)
+		r.writeHistograms(pw, ns)
+	}
+	writeRuntimeMetrics(pw)
+	return pw.err
+}
+
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// SanitizeMetricName lowercases name and folds every character outside
+// [a-z0-9_] to '_', yielding a valid snake_case Prometheus metric name.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_':
+			b.WriteRune(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteRune(c + ('a' - 'A'))
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (r *Registry) writeCounters(pw *promWriter, ns string) {
+	snap := r.counters.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		full := ns + "_" + SanitizeMetricName(n)
+		if !strings.HasSuffix(full, "_total") {
+			full += "_total"
+		}
+		pw.printf("# TYPE %s counter\n%s %d\n", full, full, snap[n])
+	}
+}
+
+func (r *Registry) writeGauges(pw *promWriter, ns string) {
+	prev := ""
+	for _, g := range r.gaugeValues() {
+		full := ns + "_" + SanitizeMetricName(g.name)
+		if full != prev {
+			pw.printf("# TYPE %s gauge\n", full)
+			prev = full
+		}
+		pw.printf("%s%s %d\n", full, curly(g.labels), g.value)
+	}
+}
+
+func (r *Registry) writeHistograms(pw *promWriter, ns string) {
+	prev := ""
+	for _, s := range r.histSnapshots() {
+		full := ns + "_" + SanitizeMetricName(s.Name)
+		if full != prev {
+			pw.printf("# TYPE %s histogram\n", full)
+			prev = full
+		}
+		var cum int64
+		for _, b := range s.Buckets {
+			cum += b.Count
+			pw.printf("%s_bucket{%sle=%q} %d\n", full, labelPrefix(s.Labels), formatBound(b.Upper, s.Unit), cum)
+		}
+		pw.printf("%s_bucket{%sle=\"+Inf\"} %d\n", full, labelPrefix(s.Labels), s.Count)
+		pw.printf("%s_sum%s %s\n", full, curly(s.Labels), formatSum(s.Sum, s.Unit))
+		pw.printf("%s_count%s %d\n", full, curly(s.Labels), s.Count)
+	}
+}
+
+// curly wraps a pre-rendered label string in braces ("" stays "").
+func curly(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// labelPrefix renders labels for concatenation before the le label.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// formatBound renders a bucket's inclusive upper bound as an `le` value:
+// seconds (from nanoseconds) for UnitSeconds, the raw integer otherwise.
+func formatBound(upper int64, u Unit) string {
+	if u == UnitSeconds {
+		return strconv.FormatFloat(float64(upper)/1e9, 'g', -1, 64)
+	}
+	return strconv.FormatInt(upper, 10)
+}
+
+func formatSum(sum int64, u Unit) string {
+	if u == UnitSeconds {
+		return strconv.FormatFloat(float64(sum)/1e9, 'g', -1, 64)
+	}
+	return strconv.FormatInt(sum, 10)
+}
+
+// writeRuntimeMetrics emits the conventional go_* series every serving
+// daemon should expose, read from runtime/metrics.
+func writeRuntimeMetrics(pw *promWriter) {
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+	}
+	metrics.Read(samples)
+	val := func(i int) uint64 {
+		if samples[i].Value.Kind() == metrics.KindUint64 {
+			return samples[i].Value.Uint64()
+		}
+		return 0
+	}
+	pw.printf("# TYPE go_goroutines gauge\ngo_goroutines %d\n", val(0))
+	pw.printf("# TYPE go_heap_objects_bytes gauge\ngo_heap_objects_bytes %d\n", val(1))
+	pw.printf("# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", val(2))
+}

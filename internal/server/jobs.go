@@ -54,6 +54,12 @@ type JobStatus struct {
 	EnqueuedAt time.Time        `json:"enqueued_at"`
 	StartedAt  *time.Time       `json:"started_at,omitempty"`
 	FinishedAt *time.Time       `json:"finished_at,omitempty"`
+	// QueueWaitMS is how long the job waited for a worker (enqueued →
+	// started); RunMS how long it executed (started → finished). Derived
+	// from the timestamps above so pollers need no time arithmetic; each is
+	// present once the corresponding interval has closed.
+	QueueWaitMS *float64 `json:"queue_wait_ms,omitempty"`
+	RunMS       *float64 `json:"run_ms,omitempty"`
 }
 
 func (j *Job) snapshot() JobStatus {
@@ -71,10 +77,16 @@ func (j *Job) snapshot() JobStatus {
 	if !j.started.IsZero() {
 		t := j.started
 		st.StartedAt = &t
+		wait := float64(j.started.Sub(j.enqueued)) / float64(time.Millisecond)
+		st.QueueWaitMS = &wait
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.FinishedAt = &t
+		if !j.started.IsZero() {
+			run := float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+			st.RunMS = &run
+		}
 	}
 	return st
 }
@@ -155,4 +167,12 @@ func (s *jobStore) get(id string) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.m[id]
+}
+
+// len reports how many jobs are currently retained (queued, running and
+// kept terminal jobs) — the jobs_retained gauge.
+func (s *jobStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
 }

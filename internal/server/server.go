@@ -6,6 +6,10 @@
 //	GET  /v1/jobs/{id} — status/result of an async job
 //	GET  /healthz      — liveness (503 while draining)
 //	GET  /debug/vars   — expvar JSON including the server's counter set
+//	GET  /metrics      — Prometheus text exposition (histograms, gauges,
+//	                     counters; see docs/API.md "Metrics")
+//	GET  /debug/slow   — the N slowest explanations over the configured
+//	                     threshold, with their full span traces
 //
 // Explanations run on a bounded worker pool fed by a bounded queue; a full
 // queue answers 429 (backpressure) rather than accepting unbounded work.
@@ -24,6 +28,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"runtime"
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"nexus"
+	"nexus/internal/httpdebug"
 	"nexus/internal/obs"
 	"nexus/internal/subgroups"
 )
@@ -51,6 +57,11 @@ const (
 	CtrFailed    = "jobs_failed"
 	CtrTimeout   = "jobs_timeout"
 	CtrCancelled = "jobs_cancelled"
+	// CtrEncodeErrors counts responses whose JSON encoding failed mid-write
+	// (client gone, marshal error). The body is already partially written by
+	// then, so the error cannot reach the client — the counter and the
+	// server error log are where it surfaces.
+	CtrEncodeErrors = "encode_errors"
 )
 
 // StatusClientClosedRequest is the non-standard (nginx-convention) status
@@ -82,6 +93,25 @@ type Config struct {
 	// session's nexus.ExtractionCache makes cache traffic visible on
 	// /debug/vars too. Nil allocates a private set.
 	Metrics *obs.Counters
+	// Registry collects the serving metrics GET /metrics renders: request
+	// latency, queue wait and run time histograms, per-stage pipeline
+	// timings, and live queue/worker gauges. Nil builds one over Metrics,
+	// so /metrics is always available; pass a shared registry to co-host
+	// several metric owners in one process. When both Registry and Metrics
+	// are set they should share the counter set (Registry's counters win
+	// for /metrics).
+	Registry *obs.Registry
+	// SlowThreshold enables slow-request capture: every explanation at or
+	// over the threshold is offered to a bounded log of the SlowKeep
+	// slowest (default 32), each retaining its full span trace — served at
+	// GET /debug/slow and dumped on SIGQUIT by nexusd. Zero disables
+	// capture.
+	SlowThreshold time.Duration
+	SlowKeep      int
+	// ErrorLog receives server-side failures that cannot reach the client,
+	// e.g. response-encode errors. Nil discards them (they still count in
+	// CtrEncodeErrors).
+	ErrorLog *log.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -103,8 +133,14 @@ func (c *Config) applyDefaults() {
 	if c.MaxSubgroups <= 0 {
 		c.MaxSubgroups = 20
 	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry(c.Metrics)
+	}
 	if c.Metrics == nil {
-		c.Metrics = obs.NewCounters()
+		c.Metrics = c.Registry.Counters()
+	}
+	if c.SlowKeep <= 0 {
+		c.SlowKeep = 32
 	}
 }
 
@@ -112,10 +148,19 @@ func (c *Config) applyDefaults() {
 // Serve or ListenAndServe (both block until their context is cancelled,
 // then drain).
 type Server struct {
-	cfg     Config
-	metrics *obs.Counters
-	jobs    *jobStore
-	queue   chan *Job
+	cfg      Config
+	metrics  *obs.Counters
+	registry *obs.Registry
+	jobs     *jobStore
+	queue    chan *Job
+
+	// Serving-metric instruments, resolved once at construction so the
+	// per-job path never touches the registry's lock.
+	stages      *obs.StageSink // per-stage pipeline_stage_seconds
+	queueWait   *obs.Histogram // job_queue_wait_seconds (enqueued → started)
+	runTime     *obs.Histogram // job_run_seconds (started → finished)
+	workersBusy *obs.Gauge     // workers currently executing a job
+	slow        *obs.SlowLog   // nil unless Config.SlowThreshold > 0
 
 	baseCtx    context.Context // parent of async job contexts
 	baseCancel context.CancelFunc
@@ -136,18 +181,35 @@ func New(cfg Config) *Server {
 	}
 	cfg.applyDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
-		cfg:        cfg,
-		metrics:    cfg.Metrics,
-		jobs:       newJobStore(cfg.KeepJobs),
-		queue:      make(chan *Job, cfg.QueueDepth),
-		baseCtx:    ctx,
-		baseCancel: cancel,
+	s := &Server{
+		cfg:         cfg,
+		metrics:     cfg.Metrics,
+		registry:    cfg.Registry,
+		jobs:        newJobStore(cfg.KeepJobs),
+		queue:       make(chan *Job, cfg.QueueDepth),
+		stages:      obs.NewStageSink(cfg.Registry),
+		queueWait:   cfg.Registry.Histogram("job_queue_wait_seconds", obs.UnitSeconds),
+		runTime:     cfg.Registry.Histogram("job_run_seconds", obs.UnitSeconds),
+		workersBusy: cfg.Registry.Gauge("workers_busy"),
+		slow:        obs.NewSlowLog(cfg.SlowThreshold, cfg.SlowKeep),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
 	}
+	// Level gauges read live server state at scrape time.
+	s.registry.SetGaugeFunc("job_queue_depth", func() int64 { return int64(len(s.queue)) })
+	s.registry.SetGaugeFunc("jobs_retained", func() int64 { return int64(s.jobs.len()) })
+	return s
 }
 
 // Metrics exposes the server's counter set (the one /debug/vars renders).
 func (s *Server) Metrics() *obs.Counters { return s.metrics }
+
+// Registry exposes the server's metric registry (the one /metrics renders).
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// SlowLog exposes the slow-request capture (nil when disabled), e.g. for
+// nexusd's SIGQUIT dump.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
 
 // Start launches the worker pool. Serve calls it; call it directly only
 // when driving the Handler through a custom HTTP server.
@@ -169,13 +231,20 @@ func (s *Server) Start() {
 	}
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every route is wrapped in
+// the request-latency middleware, so http_request_seconds{route,outcome}
+// covers the whole surface, including the metrics endpoint itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/explain", s.handleExplain)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, httpdebug.Instrument(s.registry, "http_request_seconds", label, h))
+	}
+	route("POST /v1/explain", "explain", s.handleExplain)
+	route("GET /v1/jobs/{id}", "job", s.handleJob)
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /debug/vars", "vars", s.handleVars)
+	route("GET /metrics", "metrics", httpdebug.MetricsHandler(s.registry, "nexusd").ServeHTTP)
+	route("GET /debug/slow", "slow", httpdebug.SlowHandler(s.slow).ServeHTTP)
 	return mux
 }
 
@@ -279,17 +348,51 @@ func (s *Server) admit() bool {
 	return true
 }
 
-// run executes one job on a worker goroutine.
+// run executes one job on a worker goroutine. Each job gets its own
+// short-lived trace (obs.WithTrace on the job context) whose counters are
+// the server's shared set: span durations feed the per-stage pipeline
+// histograms through the StageSink, and — when slow capture is on — the
+// full span stream is buffered so an over-threshold job lands in the slow
+// log with its trace attached.
 func (s *Server) run(j *Job) {
 	defer s.inflight.Done()
+	s.queueWait.RecordSince(j.enqueued)
+	s.workersBusy.Inc()
+	defer s.workersBusy.Dec()
 	j.start()
 	start := time.Now()
 
-	rep, err := s.cfg.Session.ExplainCtx(j.ctx, j.req.SQL)
+	ctx := j.ctx
+	tr := obs.NewWithCounters("explain "+j.ID, s.metrics)
+	tr.AddSink(s.stages)
+	var capture *obs.CaptureSink
+	if s.slow != nil {
+		capture = &obs.CaptureSink{}
+		tr.AddSink(capture)
+	}
+	ctx = obs.WithTrace(ctx, tr)
+
+	rep, err := s.cfg.Session.ExplainCtx(ctx, j.req.SQL)
 	var groups []subgroups.Group
 	var gstats subgroups.Stats
 	if err == nil && j.req.Subgroups > 0 {
-		groups, gstats, err = rep.SubgroupsCtx(j.ctx, j.req.Subgroups, j.req.Tau)
+		groups, gstats, err = rep.SubgroupsCtx(ctx, j.req.Subgroups, j.req.Tau)
+	}
+	elapsed := time.Since(start)
+	s.runTime.RecordDuration(elapsed)
+	tr.Close() // ends the root span, flushing it to the capture sink
+	if capture != nil {
+		detail := j.req.SQL
+		if err != nil {
+			detail += " — error: " + err.Error()
+		}
+		s.slow.Record(obs.SlowEntry{
+			ID:     j.ID,
+			Detail: detail,
+			Start:  start,
+			DurNS:  int64(elapsed),
+			Events: capture.Events(),
+		})
 	}
 	if err != nil {
 		state, code := classifyError(err)
@@ -298,7 +401,7 @@ func (s *Server) run(j *Job) {
 		return
 	}
 	s.metrics.Add(CtrCompleted, 1)
-	j.finish(buildResponse(rep, groups, gstats, j.req.Subgroups > 0, time.Since(start)), JobDone, "", http.StatusOK)
+	j.finish(buildResponse(rep, groups, gstats, j.req.Subgroups > 0, elapsed), JobDone, "", http.StatusOK)
 }
 
 // classifyError maps a pipeline error to a terminal job state and HTTP
@@ -341,21 +444,21 @@ func kindForCode(code int) string {
 // waits for its terminal state.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
 		return
 	}
 	var req ExplainRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
 		return
 	}
 	if req.SQL == "" {
-		writeError(w, http.StatusBadRequest, "bad_request", `"sql" is required`)
+		s.writeError(w, http.StatusBadRequest, "bad_request", `"sql" is required`)
 		return
 	}
 	if req.Subgroups > s.cfg.MaxSubgroups {
@@ -381,7 +484,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 	if !s.admit() {
 		cancel()
-		writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
 		return
 	}
 	j.ID = s.jobs.add(j)
@@ -392,12 +495,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Done()
 		cancel()
 		s.metrics.Add(CtrRejected, 1)
-		writeError(w, http.StatusTooManyRequests, "queue_full", "job queue is full, retry later")
+		s.writeError(w, http.StatusTooManyRequests, "queue_full", "job queue is full, retry later")
 		return
 	}
 
 	if req.Async {
-		writeJSON(w, http.StatusAccepted, map[string]string{
+		s.writeJSON(w, http.StatusAccepted, map[string]string{
 			"job_id":     j.ID,
 			"status_url": "/v1/jobs/" + j.ID,
 		})
@@ -407,27 +510,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	<-j.done
 	st := j.snapshot()
 	if st.State == JobDone {
-		writeJSON(w, http.StatusOK, st.Result)
+		s.writeJSON(w, http.StatusOK, st.Result)
 		return
 	}
-	writeError(w, st.Code, kindForCode(st.Code), st.Error)
+	s.writeError(w, st.Code, kindForCode(st.Code), st.Error)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.get(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "not_found", "unknown job id")
+		s.writeError(w, http.StatusNotFound, "not_found", "unknown job id")
 		return
 	}
-	writeJSON(w, http.StatusOK, j.snapshot())
+	s.writeJSON(w, http.StatusOK, j.snapshot())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleVars renders the expvar JSON document (process-wide vars such as
@@ -449,14 +552,28 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "\n}\n")
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes v as the response body. Encoding can fail after the
+// status line and part of the body are on the wire (client disconnect,
+// marshal error), where no error response is possible any more — so the
+// failure is counted (CtrEncodeErrors) and logged instead of dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.metrics.Add(CtrEncodeErrors, 1)
+		s.logf("server: encoding %d response: %v", code, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, kind, msg string) {
-	writeJSON(w, code, errorBody{Error: msg, Kind: kind, Code: code})
+func (s *Server) writeError(w http.ResponseWriter, code int, kind, msg string) {
+	s.writeJSON(w, code, errorBody{Error: msg, Kind: kind, Code: code})
+}
+
+// logf writes to the configured error log (discarded when unset).
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.ErrorLog != nil {
+		s.cfg.ErrorLog.Printf(format, args...)
+	}
 }

@@ -16,6 +16,8 @@
 package nexus
 
 import (
+	"context"
+
 	"nexus/internal/bins"
 	"nexus/internal/core"
 	"nexus/internal/kg"
@@ -58,7 +60,11 @@ type Options struct {
 	//
 	// A session-level trace assumes one Explain at a time (span nesting
 	// follows call order). Servers handling concurrent requests should
-	// leave it nil and set Metrics instead.
+	// leave it nil and either set Metrics, or attach a short-lived
+	// per-request trace to the request context with obs.WithTrace — the
+	// Ctx entry points prefer a context-carried trace over this field,
+	// and obs.NewWithCounters lets every request trace accumulate into
+	// one shared counter set.
 	Trace *obs.Trace
 	// Metrics, when non-nil and Trace is nil, receives the pipeline's
 	// counters alone (selection-bias detections, cache hits, subgroup
@@ -144,6 +150,19 @@ func NewSessionFromSource(src kg.Source, opts *Options) *Session {
 // Linker exposes the session's entity linker (e.g. to register aliases).
 // Nil when the session has no knowledge graph.
 func (s *Session) Linker() *ned.Linker { return s.linker }
+
+// traceFor resolves the trace one pipeline call should emit into: a
+// per-request trace carried on ctx (obs.WithTrace) wins over the
+// session-level Options.Trace, so a server can give each concurrent
+// request its own span tree while a CLI keeps configuring a single
+// session trace. Both sources may be nil, in which case tracing stays an
+// allocation-free no-op.
+func (s *Session) traceFor(ctx context.Context) *obs.Trace {
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		return tr
+	}
+	return s.opts.Trace
+}
 
 // RegisterTable adds a table to the catalog. linkColumns name the columns
 // whose values reference knowledge-graph entities (Table 1's "columns used

@@ -79,9 +79,12 @@ require_section docs/ARCHITECTURE.md '## KG backends'
 require_section docs/ARCHITECTURE.md '## Hot path & caching'
 require_section docs/ARCHITECTURE.md '## Subgroup lattice parallelism'
 require_section docs/ARCHITECTURE.md '## Observability invariant'
+require_section docs/ARCHITECTURE.md '### Serving metrics'
 require_section README.md '### Subgroup lattice parallelism'
 require_section docs/API.md '## kgd wire protocol'
 require_section docs/API.md '## Timeouts, cancellation, shutdown'
+require_section docs/API.md '## Metrics'
+require_section docs/API.md '### pprof and slow-request capture'
 
 if [ "$fail" -ne 0 ]; then
     exit 1
