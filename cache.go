@@ -3,12 +3,14 @@ package nexus
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
 	"nexus/internal/extract"
+	"nexus/internal/kg"
 	"nexus/internal/obs"
 	"nexus/internal/sqlx"
 )
@@ -119,6 +121,82 @@ func (c *ExtractionCache) get(ctx context.Context, key string, fn func() (*extra
 	}
 	close(e.done)
 	return e.ex, false, e.err
+}
+
+// ReportKey derives the serving tier's report-cache key for one explain
+// request: the canonicalized query (sorted WHERE conjuncts — rendering and
+// conjunct order must not defeat the cache, exactly as in extractionKey),
+// the explanation options that shape the response (subgroups k, tau, the
+// session's extraction depth), the dataset fingerprint and the KG source
+// version. Two requests with equal keys produce byte-identical reports, so
+// internal/reportcache can serve the stored bytes of the first computation
+// to all of them. Parse errors return an error so the caller falls through
+// to the uncached path (which reports them properly as 400s).
+func (s *Session) ReportKey(sql string, subgroups int, tau float64) (string, error) {
+	q, err := sqlx.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sort.Slice(q.Where, func(i, j int) bool { return q.Where[i].String() < q.Where[j].String() })
+	var b strings.Builder
+	b.WriteString(q.String())
+	b.WriteString("|k=")
+	b.WriteString(strconv.Itoa(subgroups))
+	b.WriteString("|tau=")
+	b.WriteString(strconv.FormatFloat(tau, 'g', -1, 64))
+	b.WriteString("|hops=")
+	b.WriteString(strconv.Itoa(s.opts.Hops))
+	b.WriteString("|ds=")
+	b.WriteString(s.DatasetFingerprint())
+	b.WriteString("|kg=")
+	b.WriteString(s.KGVersion())
+	return b.String(), nil
+}
+
+// DatasetFingerprint hashes the registered catalog — table names, shapes,
+// column names, link columns and candidate exclusions — into a short hex
+// token. It distinguishes datasets (and re-registrations that change the
+// schema or row count) cheaply without reading cell data; loading different
+// *contents* at an identical shape should be paired with an explicit
+// report-cache invalidation (docs/OPERATIONS.md).
+func (s *Session) DatasetFingerprint() string {
+	h := fnv.New64a()
+	names := make([]string, 0, len(s.catalog))
+	for name := range s.catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	field := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	for _, name := range names {
+		t := s.catalog[name]
+		field(name, strconv.Itoa(t.NumRows()))
+		field(t.ColumnNames()...)
+		field(s.links[name]...)
+		ex := append([]string(nil), s.excludes[name]...)
+		sort.Strings(ex)
+		field(ex...)
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// KGVersion reports the knowledge-graph source version for cache keying:
+// the backend's kg.Versioned identity when it implements it (the in-memory
+// graph's content-shape fingerprint, the remote client's endpoint), "none"
+// for KG-less sessions, and the backend type name otherwise.
+func (s *Session) KGVersion() string {
+	switch src := s.src.(type) {
+	case nil:
+		return "none"
+	case kg.Versioned:
+		return src.Version()
+	default:
+		return fmt.Sprintf("%T", src)
+	}
 }
 
 // extractionKey derives the cache key for a query's extraction: the table,

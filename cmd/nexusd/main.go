@@ -15,6 +15,12 @@
 //	nexusd -csv data.csv -table mydata -links Country -addr :8080
 //	nexusd -dataset so -addr :8080 -debug-addr 127.0.0.1:8081 -slow-threshold 2s
 //
+// Synchronous explanations flow through a versioned report cache
+// (-report-cache; X-Nexus-Cache response header) and a two-tier scheduler:
+// the request's "priority" field selects interactive (default) or batch,
+// batch work queues deeper (-batch-queue) but dequeues at a lower weight
+// (-interactive-weight) and is shed first under load (-shed-batch-at).
+//
 // -debug-addr serves net/http/pprof (plus /metrics and /debug/slow) on a
 // separate, typically loopback-only listener. With -slow-threshold set,
 // SIGQUIT dumps the captured slow requests as JSONL to stderr without
@@ -40,6 +46,7 @@ import (
 	"nexus/internal/kg"
 	"nexus/internal/kgremote"
 	"nexus/internal/obs"
+	"nexus/internal/reportcache"
 	"nexus/internal/server"
 	"nexus/internal/table"
 	"nexus/internal/workload"
@@ -72,7 +79,12 @@ func run(args []string) error {
 		noIPW        = fs.Bool("no-ipw", false, "disable selection-bias detection and IPW")
 		par          = fs.Int("parallelism", 0, "worker goroutines per explanation for MCIMR and the subgroup lattice search (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 		workers      = fs.Int("workers", 0, "concurrent explanations (0 = GOMAXPROCS, capped at 8)")
-		queue        = fs.Int("queue", 0, "queued jobs before 429 (0 = 4 × workers)")
+		queue        = fs.Int("queue", 0, "queued interactive jobs before 429 (0 = 4 × workers)")
+		batchQueue   = fs.Int("batch-queue", 0, "queued batch-tier jobs before 429 (0 = 4 × interactive queue)")
+		weight       = fs.Int("interactive-weight", 0, "interactive jobs dequeued per batch job when both tiers are backlogged (0 = 4)")
+		shedBatchAt  = fs.Int("shed-batch-at", 0, "interactive backlog at which new batch jobs are shed with 429 (0 = queue/2)")
+		cacheEntries = fs.Int("report-cache", 512, "report-cache entries: cached explanation responses served byte-identical on repeat queries (0 = off)")
+		cacheTTL     = fs.Duration("report-cache-ttl", 15*time.Minute, "report-cache entry lifetime (0 = no expiry)")
 		timeout      = fs.Duration("timeout", 60*time.Second, "default per-request timeout")
 		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
@@ -152,17 +164,40 @@ func run(args []string) error {
 		return fmt.Errorf("provide -dataset or -csv")
 	}
 
+	// The report cache's version is fixed to the loaded dataset + KG source
+	// at startup; its per-key suffix repeats the same pair via
+	// Session.ReportKey, so either layer alone is enough to keep reports
+	// from different data apart.
+	var reports *reportcache.Cache
+	if *cacheEntries > 0 {
+		ttl := *cacheTTL
+		if ttl == 0 {
+			ttl = -1 // flag 0 = never expire; Config 0 = default
+		}
+		reports = reportcache.New(reportcache.Config{
+			MaxEntries: *cacheEntries,
+			TTL:        ttl,
+			Version:    sess.DatasetFingerprint() + "/" + sess.KGVersion(),
+			Counters:   metrics,
+		})
+		log.Printf("report cache: %d entries, ttl %s", *cacheEntries, *cacheTTL)
+	}
+
 	srv := server.New(server.Config{
-		Session:        sess,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Metrics:        metrics,
-		Registry:       registry,
-		SlowThreshold:  *slowThresh,
-		SlowKeep:       *slowKeep,
-		ErrorLog:       log.Default(),
+		Session:           sess,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		BatchQueueDepth:   *batchQueue,
+		InteractiveWeight: *weight,
+		ShedBatchAt:       *shedBatchAt,
+		ReportCache:       reports,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		Metrics:           metrics,
+		Registry:          registry,
+		SlowThreshold:     *slowThresh,
+		SlowKeep:          *slowKeep,
+		ErrorLog:          log.Default(),
 	})
 
 	if srv.SlowLog() != nil {

@@ -93,6 +93,16 @@ func NewGraph() *Graph {
 	}
 }
 
+// Version implements the Versioned capability for the in-memory graph: a
+// content-shape fingerprint over the entity and triple counts. Every
+// AddEntity/Set/Add/Delete changes one of the counts in practice (the
+// synthetic worlds only grow), so the serving tier can key report caches
+// on it; replacing values in place at constant counts needs an explicit
+// cache invalidation instead.
+func (g *Graph) Version() string {
+	return fmt.Sprintf("mem:%d:%d", g.NumEntities(), g.NumTriples())
+}
+
 // AddEntity registers an entity with a unique name and a class, returning
 // its id. Adding a name twice returns the existing id.
 func (g *Graph) AddEntity(name, class string) EntityID {

@@ -62,6 +62,18 @@ type Props map[string][]Value
 // the request slice. Errors are transport- or backend-level failures;
 // per-value resolution misses are expressed through Link.Outcome, not
 // errors.
+// Versioned is an optional Source capability: backends that can identify
+// the graph revision they serve implement it, and the serving tier folds
+// the version into report-cache keys so a backend swap or regeneration
+// invalidates cached explanations (see internal/reportcache). Backends
+// that cannot observe their own mutations should return a new string
+// whenever their content may have changed.
+type Versioned interface {
+	// Version identifies the current graph content; two sources with equal
+	// versions must answer extraction queries identically.
+	Version() string
+}
+
 type Source interface {
 	// Resolve links surface forms to entities: exact name match first, then
 	// backend-side normalized match. out[i] corresponds to values[i].

@@ -441,6 +441,13 @@ func (c *Client) ClassProps(ctx context.Context, class string) ([]string, error)
 	return resp.Props, nil
 }
 
+// Version implements kg.Versioned for the remote backend. The client
+// cannot observe the server's graph content, so the version is the
+// endpoint identity: repointing -kg at a different kgd (or regenerating
+// the graph behind the same URL) should be paired with a report-cache
+// invalidation or a URL change — docs/OPERATIONS.md covers the procedure.
+func (c *Client) Version() string { return "remote:" + c.base }
+
 // CacheLen reports the entries held by each LRU (entities, property maps,
 // resolutions) — observability for tests and debugging.
 func (c *Client) CacheLen() (ents, props, resolve int) {

@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stub is a fake nexusd explain endpoint: interactive requests succeed
+// with a configurable cache header, batch requests are shed.
+func stub(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/explain", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			SQL      string `json:"sql"`
+			Priority string `json:"priority"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
+			t.Errorf("bad request body: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if req.Priority == "batch" {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{"error": "shed", "kind": "shed", "code": 429}) //nolint:errcheck
+			return
+		}
+		if hits.Add(1) == 1 {
+			w.Header().Set("X-Nexus-Cache", "miss")
+		} else {
+			w.Header().Set("X-Nexus-Cache", "hit")
+		}
+		w.Write([]byte(`{"query":"q"}` + "\n")) //nolint:errcheck
+	})
+	return httptest.NewServer(mux)
+}
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	var hits atomic.Int64
+	ts := stub(t, &hits)
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:       ts.URL,
+		Requests:      100,
+		Concurrency:   8,
+		BatchFraction: 0.4,
+		Queries:       []Query{{SQL: "SELECT a, avg(b) FROM t GROUP BY a"}},
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent() != 100 {
+		t.Fatalf("Sent = %d, want 100", res.Sent())
+	}
+	if res.Interactive.Sent == 0 || res.Batch.Sent == 0 {
+		t.Fatalf("tier split degenerate: interactive=%d batch=%d", res.Interactive.Sent, res.Batch.Sent)
+	}
+	if res.Interactive.OK != res.Interactive.Sent {
+		t.Fatalf("interactive OK = %d, want %d (errors=%d)", res.Interactive.OK, res.Interactive.Sent, res.Interactive.Errors)
+	}
+	if res.Batch.Shed != res.Batch.Sent {
+		t.Fatalf("batch shed = %d, want %d", res.Batch.Shed, res.Batch.Sent)
+	}
+	if res.Shed() != res.Batch.Sent || res.ShedRate() == 0 {
+		t.Fatalf("shed accounting: Shed=%d rate=%g", res.Shed(), res.ShedRate())
+	}
+	if res.Interactive.CacheMisses != 1 || res.Interactive.CacheHits != res.Interactive.OK-1 {
+		t.Fatalf("cache outcomes: misses=%d hits=%d ok=%d", res.Interactive.CacheMisses, res.Interactive.CacheHits, res.Interactive.OK)
+	}
+	if got := res.Interactive.CacheHitRatio(); got <= 0.9 {
+		t.Fatalf("CacheHitRatio = %g, want > 0.9", got)
+	}
+	if res.Interactive.P50 <= 0 || res.Interactive.P99 < res.Interactive.P50 || res.Interactive.Max < res.Interactive.P99 {
+		t.Fatalf("percentile ordering broken: p50=%v p99=%v max=%v", res.Interactive.P50, res.Interactive.P99, res.Interactive.Max)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatalf("Throughput = %g", res.Throughput())
+	}
+}
+
+// TestScheduleDeterministic: the tier/query assignment depends only on the
+// seed, not on worker timing or concurrency.
+func TestScheduleDeterministic(t *testing.T) {
+	var hits atomic.Int64
+	ts := stub(t, &hits)
+	defer ts.Close()
+
+	run := func(conc int) (int, int) {
+		res, err := Run(context.Background(), Config{
+			BaseURL:       ts.URL,
+			Requests:      200,
+			Concurrency:   conc,
+			BatchFraction: 0.25,
+			Queries:       []Query{{SQL: "SELECT a, avg(b) FROM t GROUP BY a"}, {SQL: "SELECT c, avg(b) FROM t GROUP BY c"}},
+			Seed:          42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Interactive.Sent, res.Batch.Sent
+	}
+	i1, b1 := run(4)
+	i2, b2 := run(16)
+	if i1 != i2 || b1 != b2 {
+		t.Fatalf("schedule not deterministic: %d/%d vs %d/%d", i1, b1, i2, b2)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{BaseURL: "http://x"},
+		{BaseURL: "http://x", Requests: 10},
+	} {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("Run(%+v) accepted an invalid config", cfg)
+		}
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	s := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(s, 0.5); q != 5 {
+		t.Fatalf("p50 = %v, want 5", q)
+	}
+	if q := quantile(s, 0.99); q != 10 {
+		t.Fatalf("p99 = %v, want 10", q)
+	}
+	if q := quantile(s[:1], 0.5); q != 1 {
+		t.Fatalf("single-sample p50 = %v, want 1", q)
+	}
+}

@@ -91,6 +91,16 @@ const (
 	// waiters on an in-flight extraction count as hits too).
 	ExtractCacheHits   = "extract_cache_hits"
 	ExtractCacheMisses = "extract_cache_misses"
+	// ReportCacheHits / ReportCacheMisses / ReportCacheShared /
+	// ReportCacheEvictions count lookups in the versioned serving-tier
+	// report cache (internal/reportcache): a hit serves the stored bytes of
+	// an earlier computation, a miss runs the full pipeline, and a shared
+	// lookup joined an in-flight computation under single-flight. Evictions
+	// count LRU overflow, TTL expiry and version-bump purges together.
+	ReportCacheHits      = "report_cache_hits"
+	ReportCacheMisses    = "report_cache_misses"
+	ReportCacheShared    = "report_cache_singleflight_shared"
+	ReportCacheEvictions = "report_cache_evictions"
 	// EncCacheHits counts repeat Candidate.Enc/Weights lookups served by the
 	// per-run memo cache in core (every phase after the first to touch a
 	// candidate hits instead of re-encoding).

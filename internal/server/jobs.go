@@ -28,6 +28,7 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // closed when the job reaches a terminal state
+	tier   Tier          // scheduling class, fixed at admission
 
 	mu       sync.Mutex
 	state    JobState
@@ -45,6 +46,8 @@ type JobStatus struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
 	SQL   string   `json:"sql"`
+	// Priority is the job's scheduling tier ("interactive" / "batch").
+	Priority string `json:"priority"`
 	// Error and Code are set for failed/cancelled jobs; Code is the HTTP
 	// status a synchronous request would have received (400, 408, 499...).
 	Error string `json:"error,omitempty"`
@@ -69,6 +72,7 @@ func (j *Job) snapshot() JobStatus {
 		ID:         j.ID,
 		State:      j.state,
 		SQL:        j.req.SQL,
+		Priority:   j.tier.String(),
 		Error:      j.errMsg,
 		Code:       j.code,
 		Result:     j.result,
@@ -145,8 +149,11 @@ func (s *jobStore) add(j *Job) string {
 		excess := len(s.order) - s.keep
 		for _, oid := range s.order {
 			oj := s.m[oid]
+			if oj == nil {
+				continue // removed (refused admission); drop the stale id
+			}
 			evictable := false
-			if oj != nil && excess > 0 {
+			if excess > 0 {
 				oj.mu.Lock()
 				evictable = oj.state == JobDone || oj.state == JobFailed || oj.state == JobCancelled
 				oj.mu.Unlock()
@@ -161,6 +168,14 @@ func (s *jobStore) add(j *Job) string {
 		s.order = kept
 	}
 	return id
+}
+
+// remove deletes a job that was refused admission, undoing add. The id
+// stays in order until the next eviction sweep drops it as stale.
+func (s *jobStore) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, id)
 }
 
 func (s *jobStore) get(id string) *Job {

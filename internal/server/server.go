@@ -11,8 +11,14 @@
 //	GET  /debug/slow   — the N slowest explanations over the configured
 //	                     threshold, with their full span traces
 //
-// Explanations run on a bounded worker pool fed by a bounded queue; a full
-// queue answers 429 (backpressure) rather than accepting unbounded work.
+// Explanations run on a bounded worker pool fed by two bounded queues —
+// interactive (the default) and batch tiers, dequeued under a weighted
+// policy that favours interactive work. Admission control sheds batch jobs
+// with 429 while the interactive backlog is high, and a full queue answers
+// 429 (backpressure) rather than accepting unbounded work. When a
+// reportcache.Cache is configured, identical requests (after query
+// canonicalization) are answered from the cache — single-flight, with an
+// X-Nexus-Cache: hit|miss|shared header — without occupying a worker.
 // Every job runs under a context: per-request deadlines (timeout_ms, capped
 // by the server maximum) map to 408, client disconnects map to 499, and
 // graceful shutdown (Serve returns once its context is cancelled, e.g. by
@@ -38,6 +44,7 @@ import (
 	"nexus"
 	"nexus/internal/httpdebug"
 	"nexus/internal/obs"
+	"nexus/internal/reportcache"
 	"nexus/internal/subgroups"
 )
 
@@ -48,8 +55,16 @@ import (
 const (
 	// CtrRequests counts POST /v1/explain requests accepted for execution.
 	CtrRequests = "requests_total"
-	// CtrRejected counts requests refused with 429 (queue full).
+	// CtrRejected counts requests refused with 429 for any reason (their
+	// own queue full, or batch load-shedding).
 	CtrRejected = "jobs_rejected"
+	// CtrShedBatch counts the subset of 429s where a batch job was refused
+	// to protect the interactive tier (interactive backlog at or over
+	// Config.ShedBatchAt), not because the batch queue itself was full.
+	CtrShedBatch = "jobs_shed_batch"
+	// CtrInteractive / CtrBatch count jobs admitted per tier.
+	CtrInteractive = "jobs_interactive"
+	CtrBatch       = "jobs_batch"
 	// CtrCompleted / CtrFailed / CtrTimeout / CtrCancelled count terminal
 	// job states: success, non-context error (400), deadline exceeded
 	// (408), and client disconnect or shutdown (499).
@@ -77,9 +92,27 @@ type Config struct {
 	// Workers bounds concurrently running explanations (default
 	// GOMAXPROCS, capped at 8 — explanations parallelize internally).
 	Workers int
-	// QueueDepth bounds jobs waiting for a worker; a full queue answers
-	// 429 (default 4 × Workers).
+	// QueueDepth bounds interactive jobs waiting for a worker; a full queue
+	// answers 429 (default 4 × Workers).
 	QueueDepth int
+	// BatchQueueDepth bounds queued batch-tier jobs (default
+	// 4 × QueueDepth — batch work tolerates a deeper backlog).
+	BatchQueueDepth int
+	// InteractiveWeight is the interactive:batch dequeue ratio when both
+	// tiers have queued work (default 4: four interactive jobs per batch
+	// job, so neither tier starves).
+	InteractiveWeight int
+	// ShedBatchAt refuses new batch jobs with 429 while at least this many
+	// interactive jobs are queued, even when the batch queue has room —
+	// load shedding that spends overflow capacity on the latency-sensitive
+	// tier first (default QueueDepth/2, minimum 1).
+	ShedBatchAt int
+	// ReportCache, when non-nil, memoizes whole explanation responses for
+	// synchronous requests: identical requests (after canonicalization, see
+	// nexus.Session.ReportKey) are served the byte-identical response of
+	// the first computation, single-flight, with an X-Nexus-Cache header.
+	// Nil disables response caching (async requests always bypass it).
+	ReportCache *reportcache.Cache
 	// DefaultTimeout applies when a request carries no timeout_ms
 	// (default 60s). MaxTimeout caps client-requested timeouts
 	// (default 5m).
@@ -124,6 +157,18 @@ func (c *Config) applyDefaults() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Workers
 	}
+	if c.BatchQueueDepth <= 0 {
+		c.BatchQueueDepth = 4 * c.QueueDepth
+	}
+	if c.InteractiveWeight <= 0 {
+		c.InteractiveWeight = 4
+	}
+	if c.ShedBatchAt <= 0 {
+		c.ShedBatchAt = c.QueueDepth / 2
+		if c.ShedBatchAt < 1 {
+			c.ShedBatchAt = 1
+		}
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 60 * time.Second
 	}
@@ -152,7 +197,8 @@ type Server struct {
 	metrics  *obs.Counters
 	registry *obs.Registry
 	jobs     *jobStore
-	queue    chan *Job
+	sched    *tierQueue
+	cache    *reportcache.Cache
 
 	// Serving-metric instruments, resolved once at construction so the
 	// per-job path never touches the registry's lock.
@@ -181,12 +227,16 @@ func New(cfg Config) *Server {
 	}
 	cfg.applyDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	limits := tierLimits{shedBatchAt: cfg.ShedBatchAt, weight: cfg.InteractiveWeight}
+	limits.depth[TierInteractive] = cfg.QueueDepth
+	limits.depth[TierBatch] = cfg.BatchQueueDepth
 	s := &Server{
 		cfg:         cfg,
 		metrics:     cfg.Metrics,
 		registry:    cfg.Registry,
 		jobs:        newJobStore(cfg.KeepJobs),
-		queue:       make(chan *Job, cfg.QueueDepth),
+		sched:       newTierQueue(limits),
+		cache:       cfg.ReportCache,
 		stages:      obs.NewStageSink(cfg.Registry),
 		queueWait:   cfg.Registry.Histogram("job_queue_wait_seconds", obs.UnitSeconds),
 		runTime:     cfg.Registry.Histogram("job_run_seconds", obs.UnitSeconds),
@@ -195,11 +245,24 @@ func New(cfg Config) *Server {
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 	}
-	// Level gauges read live server state at scrape time.
-	s.registry.SetGaugeFunc("job_queue_depth", func() int64 { return int64(len(s.queue)) })
+	// Level gauges read live server state at scrape time: the total backlog
+	// (the pre-tier series, kept for dashboard continuity) plus one labeled
+	// series per tier.
+	s.registry.SetGaugeFunc("job_queue_depth", func() int64 {
+		return int64(s.sched.depth(TierInteractive) + s.sched.depth(TierBatch))
+	})
+	s.registry.SetGaugeFunc("job_queue_depth", func() int64 {
+		return int64(s.sched.depth(TierInteractive))
+	}, "tier", "interactive")
+	s.registry.SetGaugeFunc("job_queue_depth", func() int64 {
+		return int64(s.sched.depth(TierBatch))
+	}, "tier", "batch")
 	s.registry.SetGaugeFunc("jobs_retained", func() int64 { return int64(s.jobs.len()) })
 	return s
 }
+
+// ReportCache exposes the server's response cache (nil when disabled).
+func (s *Server) ReportCache() *reportcache.Cache { return s.cache }
 
 // Metrics exposes the server's counter set (the one /debug/vars renders).
 func (s *Server) Metrics() *obs.Counters { return s.metrics }
@@ -224,7 +287,11 @@ func (s *Server) Start() {
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
-			for j := range s.queue {
+			for {
+				j, ok := s.sched.pop()
+				if !ok {
+					return
+				}
 				s.run(j)
 			}
 		}()
@@ -322,7 +389,7 @@ func (s *Server) shutdownWorkers(ctx context.Context) error {
 	s.started = false
 	s.mu.Unlock()
 	if started {
-		close(s.queue)
+		s.sched.close()
 		s.workers.Wait()
 	}
 	return err
@@ -440,8 +507,28 @@ func kindForCode(code int) string {
 	}
 }
 
-// handleExplain admits a job into the queue and, for synchronous requests,
-// waits for its terminal state.
+// CacheHeader is the response header reporting how the report cache
+// answered a synchronous request: "hit" (stored bytes served), "miss"
+// (this request computed and filled the cache) or "shared" (the request
+// joined another request's in-flight computation). Absent when the cache
+// is disabled, bypassed (async) or not applicable (unparsable query).
+const CacheHeader = "X-Nexus-Cache"
+
+// httpError carries an HTTP status and error-envelope kind through the
+// report cache's compute function, so admission refusals and pipeline
+// failures keep their wire classification across the single-flight
+// boundary.
+type httpError struct {
+	code int
+	kind string
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// handleExplain admits a job into its tier queue and, for synchronous
+// requests, waits for its terminal state — through the report cache when
+// one is configured.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
 		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
@@ -461,6 +548,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_request", `"sql" is required`)
 		return
 	}
+	tier, ok := parseTier(req.Priority)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, "bad_request", `"priority" must be "interactive" or "batch"`)
+		return
+	}
 	if req.Subgroups > s.cfg.MaxSubgroups {
 		req.Subgroups = s.cfg.MaxSubgroups
 	}
@@ -472,34 +564,16 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.MaxTimeout
 	}
 
-	// Sync jobs inherit the request context so a disconnected client
-	// cancels the work; async jobs outlive their request and inherit the
-	// server's lifetime context instead.
-	parent := r.Context()
+	// Async jobs outlive their request and inherit the server's lifetime
+	// context; they always bypass the report cache (their contract is a
+	// fresh job id).
 	if req.Async {
-		parent = s.baseCtx
-	}
-	jctx, cancel := context.WithTimeout(parent, timeout)
-	j := &Job{ctx: jctx, cancel: cancel, done: make(chan struct{}), state: JobQueued, req: req, enqueued: time.Now()}
-
-	if !s.admit() {
-		cancel()
-		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
-		return
-	}
-	j.ID = s.jobs.add(j)
-	select {
-	case s.queue <- j:
-		s.metrics.Add(CtrRequests, 1)
-	default:
-		s.inflight.Done()
-		cancel()
-		s.metrics.Add(CtrRejected, 1)
-		s.writeError(w, http.StatusTooManyRequests, "queue_full", "job queue is full, retry later")
-		return
-	}
-
-	if req.Async {
+		jctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+		j := &Job{ctx: jctx, cancel: cancel, done: make(chan struct{}), state: JobQueued, req: req, tier: tier, enqueued: time.Now()}
+		if herr := s.enqueue(j, tier); herr != nil {
+			s.writeError(w, herr.code, herr.kind, herr.msg)
+			return
+		}
 		s.writeJSON(w, http.StatusAccepted, map[string]string{
 			"job_id":     j.ID,
 			"status_url": "/v1/jobs/" + j.ID,
@@ -507,13 +581,111 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	<-j.done
-	st := j.snapshot()
+	// Synchronous jobs inherit the request context so a disconnected
+	// client cancels the work.
+	runSync := func() (JobStatus, *httpError) {
+		jctx, cancel := context.WithTimeout(r.Context(), timeout)
+		j := &Job{ctx: jctx, cancel: cancel, done: make(chan struct{}), state: JobQueued, req: req, tier: tier, enqueued: time.Now()}
+		if herr := s.enqueue(j, tier); herr != nil {
+			return JobStatus{}, herr
+		}
+		<-j.done
+		return j.snapshot(), nil
+	}
+
+	if s.cache != nil {
+		if key, err := s.cfg.Session.ReportKey(req.SQL, req.Subgroups, req.Tau); err == nil {
+			s.explainCached(w, r, key, runSync)
+			return
+		}
+		// Unparsable queries fall through: the pipeline reports them as
+		// proper 400s, and failures are never cacheable anyway.
+	}
+	st, herr := runSync()
+	if herr != nil {
+		s.writeError(w, herr.code, herr.kind, herr.msg)
+		return
+	}
 	if st.State == JobDone {
 		s.writeJSON(w, http.StatusOK, st.Result)
 		return
 	}
 	s.writeError(w, st.Code, kindForCode(st.Code), st.Error)
+}
+
+// explainCached answers a synchronous request through the report cache:
+// single-flight per key, serving stored bytes on a hit. The stored bytes
+// are exactly what writeJSON would have produced for the cold computation
+// (MarshalIndent plus the encoder's trailing newline), so a hit is
+// byte-identical to the miss that filled it. Failures — admission
+// refusals, pipeline errors, a waiter's own context ending — are never
+// stored (the cache evicts on error) and keep their HTTP classification.
+func (s *Server) explainCached(w http.ResponseWriter, r *http.Request, key string, runSync func() (JobStatus, *httpError)) {
+	data, outcome, err := s.cache.Get(r.Context(), key, func() ([]byte, error) {
+		st, herr := runSync()
+		if herr != nil {
+			return nil, herr
+		}
+		if st.State != JobDone {
+			return nil, &httpError{code: st.Code, kind: kindForCode(st.Code), msg: st.Error}
+		}
+		buf, merr := json.MarshalIndent(st.Result, "", "  ")
+		if merr != nil {
+			return nil, &httpError{code: http.StatusInternalServerError, kind: "internal", msg: "encoding response: " + merr.Error()}
+		}
+		return append(buf, '\n'), nil
+	})
+	w.Header().Set(CacheHeader, outcome.String())
+	if err != nil {
+		var herr *httpError
+		if errors.As(err, &herr) {
+			s.writeError(w, herr.code, herr.kind, herr.msg)
+			return
+		}
+		// Not an httpError: this waiter's own context ended while sharing
+		// an in-flight computation.
+		_, code := classifyError(err)
+		s.writeError(w, code, kindForCode(code), err.Error())
+		return
+	}
+	s.writeRaw(w, http.StatusOK, data)
+}
+
+// enqueue applies admission control and hands the job to the scheduler,
+// registering it with the in-flight group and the job store. On refusal it
+// returns the httpError to write; the job is not registered anywhere.
+func (s *Server) enqueue(j *Job, tier Tier) *httpError {
+	if !s.admit() {
+		j.cancel()
+		return &httpError{code: http.StatusServiceUnavailable, kind: "draining", msg: "server is shutting down"}
+	}
+	// Register before offering: a worker may pop the job the instant offer
+	// returns, so the id must already be assigned. Refused jobs are removed
+	// again below.
+	j.ID = s.jobs.add(j)
+	switch s.sched.offer(j, tier) {
+	case admitted:
+		s.metrics.Add(CtrRequests, 1)
+		if tier == TierBatch {
+			s.metrics.Add(CtrBatch, 1)
+		} else {
+			s.metrics.Add(CtrInteractive, 1)
+		}
+		return nil
+	case admitShed:
+		s.jobs.remove(j.ID)
+		s.inflight.Done()
+		j.cancel()
+		s.metrics.Add(CtrRejected, 1)
+		s.metrics.Add(CtrShedBatch, 1)
+		return &httpError{code: http.StatusTooManyRequests, kind: "shed", msg: "batch work shed to protect the interactive tier, retry later"}
+	default: // admitFull
+		s.jobs.remove(j.ID)
+		s.inflight.Done()
+		j.cancel()
+		s.metrics.Add(CtrRejected, 1)
+		return &httpError{code: http.StatusTooManyRequests, kind: "queue_full", msg: "job queue is full, retry later"}
+	}
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -564,6 +736,17 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	if err := enc.Encode(v); err != nil {
 		s.metrics.Add(CtrEncodeErrors, 1)
 		s.logf("server: encoding %d response: %v", code, err)
+	}
+}
+
+// writeRaw writes pre-encoded JSON bytes (a report-cache entry) as the
+// response body.
+func (s *Server) writeRaw(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	if _, err := w.Write(body); err != nil {
+		s.metrics.Add(CtrEncodeErrors, 1)
+		s.logf("server: writing %d response: %v", code, err)
 	}
 }
 

@@ -1,0 +1,172 @@
+package server
+
+import "sync"
+
+// Tier is a job's scheduling class. Interactive jobs are analyst-facing
+// requests whose latency the server protects; batch jobs are bulk or
+// pre-warming work the server sheds first under load.
+type Tier int
+
+// The two job tiers. TierInteractive is the zero value and the default for
+// requests that carry no "priority" field.
+const (
+	TierInteractive Tier = iota
+	TierBatch
+)
+
+// numTiers sizes the per-tier arrays of the scheduler.
+const numTiers = 2
+
+// String renders the tier as its wire name ("interactive" / "batch").
+func (t Tier) String() string {
+	if t == TierBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// parseTier maps the wire "priority" field to a tier. Empty selects
+// interactive; anything else is a client error.
+func parseTier(priority string) (Tier, bool) {
+	switch priority {
+	case "", "interactive":
+		return TierInteractive, true
+	case "batch":
+		return TierBatch, true
+	default:
+		return 0, false
+	}
+}
+
+// admission is the outcome of offering a job to the scheduler.
+type admission int
+
+const (
+	// admitted — the job is queued and will run.
+	admitted admission = iota
+	// admitFull — the job's own tier queue is at capacity (429 queue_full).
+	admitFull
+	// admitShed — load shedding: the batch job was refused because the
+	// interactive backlog crossed the protection threshold, even though the
+	// batch queue itself had room (429 shed).
+	admitShed
+)
+
+// tierLimits is the admission-control policy the scheduler enforces, fixed
+// at construction from the server config.
+type tierLimits struct {
+	// depth[t] bounds tier t's queue.
+	depth [numTiers]int
+	// shedBatchAt refuses new batch work while the interactive backlog is
+	// at or above this many queued jobs — interactive demand owns the
+	// workers before batch work may add to their backlog.
+	shedBatchAt int
+	// weight is the interactive:batch dequeue ratio when both tiers have
+	// queued work: weight interactive jobs run for every one batch job, so
+	// a standing batch backlog cannot starve behind a saturating
+	// interactive stream and vice versa.
+	weight int
+}
+
+// tierQueue is the two-tier job scheduler between handleExplain and the
+// worker pool: bounded FIFO per tier, weighted dequeue across tiers, and
+// admission control at the push side. It replaces the single buffered
+// channel the server used before tiers existed; a condition variable
+// rather than two channels keeps the weighted pop and the
+// depth-plus-threshold admission check atomic.
+type tierQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [numTiers][]*Job
+	limits tierLimits
+	closed bool
+	// credit counts consecutive interactive picks since the last batch
+	// pick; at limits.weight the next contested pop goes to batch.
+	credit int
+}
+
+func newTierQueue(l tierLimits) *tierQueue {
+	q := &tierQueue{limits: l}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// offer applies admission control and enqueues the job if admitted. Safe
+// to call concurrently with pop and close (a closed queue reports
+// admitFull — callers only observe that during the draining window, which
+// handleExplain already refuses earlier).
+func (q *tierQueue) offer(j *Job, tier Tier) admission {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return admitFull
+	}
+	if tier == TierBatch && len(q.queues[TierInteractive]) >= q.limits.shedBatchAt {
+		return admitShed
+	}
+	if len(q.queues[tier]) >= q.limits.depth[tier] {
+		return admitFull
+	}
+	q.queues[tier] = append(q.queues[tier], j)
+	q.cond.Signal()
+	return admitted
+}
+
+// pop blocks until a job is available (ok=true) or the queue is closed and
+// drained (ok=false). When both tiers have queued work the pick is
+// weighted: limits.weight interactive jobs per batch job.
+func (q *tierQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if j, ok := q.popLocked(); ok {
+			return j, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *tierQueue) popLocked() (*Job, bool) {
+	ni, nb := len(q.queues[TierInteractive]), len(q.queues[TierBatch])
+	if ni == 0 && nb == 0 {
+		return nil, false
+	}
+	tier := TierInteractive
+	switch {
+	case ni == 0:
+		tier = TierBatch
+	case nb == 0:
+		tier = TierInteractive
+	case q.credit >= q.limits.weight:
+		tier = TierBatch
+	}
+	if tier == TierBatch {
+		q.credit = 0
+	} else {
+		q.credit++
+	}
+	j := q.queues[tier][0]
+	q.queues[tier][0] = nil // release the Job for GC under the backing array
+	q.queues[tier] = q.queues[tier][1:]
+	return j, true
+}
+
+// depth reports tier t's current backlog (the per-tier queue-depth gauge).
+func (q *tierQueue) depth(t Tier) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queues[t])
+}
+
+// close wakes every blocked pop; after close, pops drain the remaining
+// backlog and then report ok=false. The server only closes after its
+// in-flight count drained, so the backlog is empty in practice.
+func (q *tierQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

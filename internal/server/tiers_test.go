@@ -1,0 +1,358 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"nexus/internal/obs"
+	"nexus/internal/reportcache"
+)
+
+// postExplainFull is postExplain plus the X-Nexus-Cache header.
+func postExplainFull(t *testing.T, url string, req ExplainRequest) (int, []byte, string) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Errorf("POST /v1/explain: %v", err)
+		return 0, nil, ""
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, resp.Header.Get(CacheHeader)
+}
+
+func errKind(t *testing.T, body []byte) string {
+	t.Helper()
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("bad error body %q: %v", body, err)
+	}
+	return eb.Kind
+}
+
+// TestWeightedDequeuePattern pins the scheduler's contested dequeue order:
+// with weight 3 and both tiers backlogged, exactly three interactive jobs
+// run per batch job, FIFO within each tier.
+func TestWeightedDequeuePattern(t *testing.T) {
+	limits := tierLimits{shedBatchAt: 100, weight: 3}
+	limits.depth[TierInteractive] = 16
+	limits.depth[TierBatch] = 16
+	q := newTierQueue(limits)
+	for _, name := range []string{"i0", "i1", "i2", "i3", "i4", "i5"} {
+		if got := q.offer(&Job{req: ExplainRequest{SQL: name}}, TierInteractive); got != admitted {
+			t.Fatalf("offer(%s) = %v, want admitted", name, got)
+		}
+	}
+	for _, name := range []string{"b0", "b1"} {
+		if got := q.offer(&Job{req: ExplainRequest{SQL: name}}, TierBatch); got != admitted {
+			t.Fatalf("offer(%s) = %v, want admitted", name, got)
+		}
+	}
+	want := []string{"i0", "i1", "i2", "b0", "i3", "i4", "i5", "b1"}
+	for i, w := range want {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue closed", i)
+		}
+		if j.req.SQL != w {
+			t.Fatalf("pop %d = %s, want %s", i, j.req.SQL, w)
+		}
+	}
+	if q.depth(TierInteractive) != 0 || q.depth(TierBatch) != 0 {
+		t.Fatalf("queues not drained: interactive=%d batch=%d", q.depth(TierInteractive), q.depth(TierBatch))
+	}
+}
+
+// TestBatchShedProtectsInteractive is the overload acceptance pin: with an
+// interactive backlog at or past ShedBatchAt, batch requests are refused
+// with 429 kind "shed" while every interactive request still completes. The
+// backlog is built with the workers stopped so the test is deterministic.
+func TestBatchShedProtectsInteractive(t *testing.T) {
+	srv, metrics := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 8, ShedBatchAt: 2, BatchQueueDepth: 8,
+	})
+	// No Start() yet: async jobs pile up in the interactive queue.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var firstJob string
+	for i := 0; i < 3; i++ {
+		code, body, _ := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, Async: true})
+		if code != http.StatusAccepted {
+			t.Fatalf("async interactive %d: status %d (%s)", i, code, body)
+		}
+		if i == 0 {
+			var acc struct {
+				JobID string `json:"job_id"`
+			}
+			if err := json.Unmarshal(body, &acc); err != nil || acc.JobID == "" {
+				t.Fatalf("bad 202 body: %v (%s)", err, body)
+			}
+			firstJob = acc.JobID
+		}
+	}
+	if d := srv.sched.depth(TierInteractive); d != 3 {
+		t.Fatalf("interactive depth = %d, want 3", d)
+	}
+
+	// Batch work must now shed even though the batch queue is empty.
+	const sheds = 2
+	for i := 0; i < sheds; i++ {
+		code, body, _ := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, Priority: "batch"})
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("batch %d under backlog: status %d (%s)", i, code, body)
+		}
+		if k := errKind(t, body); k != "shed" {
+			t.Fatalf("batch 429 kind = %q, want \"shed\"", k)
+		}
+	}
+	if got := metrics.Get(CtrShedBatch); got != sheds {
+		t.Fatalf("%s = %d, want %d", CtrShedBatch, got, sheds)
+	}
+	if got := metrics.Get(CtrRejected); got != sheds {
+		t.Fatalf("%s = %d, want %d", CtrRejected, got, sheds)
+	}
+
+	// Draining the backlog serves every interactive job; batch work is
+	// admitted again once the interactive queue is empty.
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	code, body, _ := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL})
+	if code != http.StatusOK {
+		t.Fatalf("interactive after Start: status %d (%s)", code, body)
+	}
+	code, body, _ = postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, Priority: "batch"})
+	if code != http.StatusOK {
+		t.Fatalf("batch after drain: status %d (%s)", code, body)
+	}
+
+	// The async jobs finished too, and report their tier.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + firstJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone {
+		t.Fatalf("async job state = %s, want done (err: %s)", st.State, st.Error)
+	}
+	if st.Priority != "interactive" {
+		t.Fatalf("job priority = %q, want \"interactive\"", st.Priority)
+	}
+}
+
+// TestBatchQueueFull distinguishes a full batch queue (kind queue_full)
+// from load shedding (kind shed).
+func TestBatchQueueFull(t *testing.T) {
+	srv, _ := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 8, ShedBatchAt: 8, BatchQueueDepth: 1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body, _ := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, Priority: "batch", Async: true}); code != http.StatusAccepted {
+		t.Fatalf("first batch: status %d (%s)", code, body)
+	}
+	code, body, _ := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, Priority: "batch"})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second batch: status %d (%s)", code, body)
+	}
+	if k := errKind(t, body); k != "queue_full" {
+		t.Fatalf("batch 429 kind = %q, want \"queue_full\"", k)
+	}
+	srv.Start()
+	srv.shutdownWorkers(context.Background())
+}
+
+func TestInvalidPriorityRejected(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body, _ := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, Priority: "urgent"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%s)", code, body)
+	}
+	if k := errKind(t, body); k != "bad_request" {
+		t.Fatalf("kind = %q, want \"bad_request\"", k)
+	}
+}
+
+// newCachedServer is newTestServer plus a report cache sharing the metrics
+// counter set, mirroring cmd/nexusd's -report-cache wiring.
+func newCachedServer(t *testing.T, cfg Config) (*Server, *obs.Counters) {
+	t.Helper()
+	srv, metrics := newTestServer(t, cfg)
+	srv.cache = reportcache.New(reportcache.Config{Counters: metrics})
+	return srv, metrics
+}
+
+// TestReportCacheHitByteIdentical is the byte-identity acceptance pin: a
+// cache hit serves exactly the bytes the cold compute produced, runs no
+// second job, and the outcome header distinguishes the two.
+func TestReportCacheHitByteIdentical(t *testing.T) {
+	srv, metrics := newTestServer(t, Config{Workers: 2})
+	// Wire the cache to the same counter set the server reports into.
+	cache := reportcache.New(reportcache.Config{Counters: metrics})
+	srv.cache = cache
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, cold, hdr := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, Subgroups: 2})
+	if code != http.StatusOK {
+		t.Fatalf("cold: status %d (%s)", code, cold)
+	}
+	if hdr != "miss" {
+		t.Fatalf("cold %s = %q, want \"miss\"", CacheHeader, hdr)
+	}
+	code, warm, hdr := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, Subgroups: 2})
+	if code != http.StatusOK {
+		t.Fatalf("warm: status %d (%s)", code, warm)
+	}
+	if hdr != "hit" {
+		t.Fatalf("warm %s = %q, want \"hit\"", CacheHeader, hdr)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("hit is not byte-identical to the cold compute:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if got := metrics.Get(CtrCompleted); got != 1 {
+		t.Fatalf("%s = %d, want 1 (the hit must not run a job)", CtrCompleted, got)
+	}
+	if h, m := metrics.Get(obs.ReportCacheHits), metrics.Get(obs.ReportCacheMisses); h != 1 || m != 1 {
+		t.Fatalf("report cache hits=%d misses=%d, want 1/1", h, m)
+	}
+
+	// A different query must not hit.
+	other := "SELECT Year, avg(Pay) FROM Forbes GROUP BY Year"
+	if code, body, hdr := postExplainFull(t, ts.URL, ExplainRequest{SQL: other}); code != http.StatusOK || hdr != "miss" {
+		t.Fatalf("other query: status %d header %q (%s)", code, hdr, body)
+	}
+}
+
+// TestReportCacheSingleFlight: N concurrent identical requests run the
+// pipeline once; everyone gets the same bytes.
+func TestReportCacheSingleFlight(t *testing.T) {
+	srv, metrics := newCachedServer(t, Config{Workers: 4})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i], _ = postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL})
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, c, bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d body differs from request 0", i)
+		}
+	}
+	if got := metrics.Get(CtrCompleted); got != 1 {
+		t.Fatalf("%s = %d, want 1 (single flight)", CtrCompleted, got)
+	}
+	if m := metrics.Get(obs.ReportCacheMisses); m != 1 {
+		t.Fatalf("report_cache_misses = %d, want 1", m)
+	}
+	if h, s := metrics.Get(obs.ReportCacheHits), metrics.Get(obs.ReportCacheShared); h+s != n-1 {
+		t.Fatalf("hits(%d)+shared(%d) = %d, want %d", h, s, h+s, n-1)
+	}
+}
+
+// TestReportCacheErrorNotCached: a failed computation (timeout) is evicted,
+// so the next identical request computes fresh instead of replaying the
+// stale failure.
+func TestReportCacheErrorNotCached(t *testing.T) {
+	srv, _ := newCachedServer(t, Config{Workers: 2})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body, _ := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, TimeoutMS: 1})
+	if code != http.StatusRequestTimeout {
+		t.Fatalf("timeout request: status %d, want 408 (%s)", code, body)
+	}
+	if srv.cache.Len() != 0 {
+		t.Fatalf("cache retained a failed computation (len=%d)", srv.cache.Len())
+	}
+	// Same key (TimeoutMS is not part of it) — must recompute and succeed.
+	code, body, hdr := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL})
+	if code != http.StatusOK {
+		t.Fatalf("retry: status %d (%s)", code, body)
+	}
+	if hdr != "miss" {
+		t.Fatalf("retry %s = %q, want \"miss\"", CacheHeader, hdr)
+	}
+}
+
+// TestReportCacheVersionBumpInvalidates: bumping the cache version (the
+// operator's invalidation hook for in-place data reloads) forces the next
+// request to recompute.
+func TestReportCacheVersionBumpInvalidates(t *testing.T) {
+	srv, metrics := newCachedServer(t, Config{Workers: 2})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body, hdr := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL}); code != http.StatusOK || hdr != "miss" {
+		t.Fatalf("first: status %d header %q (%s)", code, hdr, body)
+	}
+	srv.ReportCache().SetVersion("reload-2")
+	code, _, hdr := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL})
+	if code != http.StatusOK || hdr != "miss" {
+		t.Fatalf("after bump: status %d header %q, want 200 miss", code, hdr)
+	}
+	if got := metrics.Get(CtrCompleted); got != 2 {
+		t.Fatalf("%s = %d, want 2 (bump must recompute)", CtrCompleted, got)
+	}
+	if code, _, hdr := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL}); code != http.StatusOK || hdr != "hit" {
+		t.Fatalf("after recompute: status %d header %q, want 200 hit", code, hdr)
+	}
+}
+
+// TestAsyncBypassesCache: async requests never touch the report cache (their
+// contract is a fresh job id) and carry no cache header.
+func TestAsyncBypassesCache(t *testing.T) {
+	srv, metrics := newCachedServer(t, Config{Workers: 2})
+	srv.Start()
+	defer srv.shutdownWorkers(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body, hdr := postExplainFull(t, ts.URL, ExplainRequest{SQL: testSQL, Async: true})
+	if code != http.StatusAccepted {
+		t.Fatalf("async: status %d (%s)", code, body)
+	}
+	if hdr != "" {
+		t.Fatalf("async %s = %q, want absent", CacheHeader, hdr)
+	}
+	if m := metrics.Get(obs.ReportCacheMisses); m != 0 {
+		t.Fatalf("async request touched the report cache (misses=%d)", m)
+	}
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI bench-regression gate: re-generate the bench profiles (BENCH_obs.json,
-# BENCH_kg.json) on this machine and compare them against the committed
-# baselines with scripts/benchcmp. Deterministic counters must stay within
+# BENCH_kg.json, BENCH_serve.json) on this machine and compare them against
+# the committed baselines with scripts/benchcmp. Deterministic counters must
+# stay within
 # 25% (they should match exactly — a drift means the baseline was not
 # regenerated after a behaviour change); wall-clock metrics only fail on an
 # increase beyond BENCH_WALL_TOLERANCE (default 0.25 — CI sets it higher
@@ -19,17 +20,17 @@ COUNTER_TOL="${BENCH_COUNTER_TOLERANCE:-0.25}"
 
 snap=$(mktemp -d)
 restore() {
-    cp "$snap"/BENCH_obs.json "$snap"/BENCH_kg.json . 2>/dev/null || true
+    cp "$snap"/BENCH_obs.json "$snap"/BENCH_kg.json "$snap"/BENCH_serve.json . 2>/dev/null || true
     rm -rf "$snap"
 }
 trap restore EXIT
-cp BENCH_obs.json BENCH_kg.json "$snap"/
+cp BENCH_obs.json BENCH_kg.json BENCH_serve.json "$snap"/
 
 echo "== regenerating bench profiles =="
-go test -run 'TestBenchObsJSON|TestBenchKGJSON' -count=1 .
+go test -run 'TestBenchObsJSON|TestBenchKGJSON|TestBenchServeJSON' -count=1 .
 
 status=0
-for f in BENCH_obs.json BENCH_kg.json; do
+for f in BENCH_obs.json BENCH_kg.json BENCH_serve.json; do
     echo "== comparing $f (counters ±${COUNTER_TOL}, wall +${WALL_TOL}) =="
     go run ./scripts/benchcmp \
         -old "$snap/$f" -new "$f" \

@@ -5,8 +5,9 @@
 #   2. links: every relative markdown link in docs/*.md must point at a
 #      file that exists.
 #   3. symbols: every `pkg.Symbol`-style identifier mentioned in
-#      docs/ARCHITECTURE.md and docs/API.md must still exist somewhere in
-#      the Go sources, so the docs cannot silently rot after a rename.
+#      docs/ARCHITECTURE.md, docs/API.md, docs/OPERATIONS.md and
+#      docs/BENCHMARKS.md must still exist somewhere in the Go sources,
+#      so the docs cannot silently rot after a rename.
 #   4. sections: load-bearing doc sections (referenced from code comments
 #      and other docs) must keep existing under their exact headings.
 #
@@ -50,7 +51,7 @@ rm -f "$tmp_broken"
 # Go sources.
 symfail=$(
     grep -ho '`[A-Za-z][A-Za-z0-9_]*\(\.[A-Za-z][A-Za-z0-9_]*\)\{1,2\}`' \
-        docs/ARCHITECTURE.md docs/API.md |
+        docs/ARCHITECTURE.md docs/API.md docs/OPERATIONS.md docs/BENCHMARKS.md |
         tr -d '\`' | tr '.' '\n' | grep '^[A-Z]' | sort -u |
         while IFS= read -r sym; do
             if ! grep -rqw --include='*.go' --exclude='*_test.go' "$sym" .; then
@@ -81,10 +82,19 @@ require_section docs/ARCHITECTURE.md '## Subgroup lattice parallelism'
 require_section docs/ARCHITECTURE.md '## Observability invariant'
 require_section docs/ARCHITECTURE.md '### Serving metrics'
 require_section README.md '### Subgroup lattice parallelism'
+require_section docs/ARCHITECTURE.md '## Serving tier: cache + admission control'
+require_section README.md '### Report cache and job tiers'
 require_section docs/API.md '## kgd wire protocol'
 require_section docs/API.md '## Timeouts, cancellation, shutdown'
 require_section docs/API.md '## Metrics'
 require_section docs/API.md '### pprof and slow-request capture'
+require_section docs/API.md '## Report cache'
+require_section docs/API.md '## Job tiers and load shedding'
+require_section docs/OPERATIONS.md '## Capacity tuning'
+require_section docs/OPERATIONS.md '## Failure modes and the metrics that diagnose them'
+require_section docs/OPERATIONS.md '### Invalidating the report cache'
+require_section docs/BENCHMARKS.md '## The two metric classes'
+require_section docs/BENCHMARKS.md '## Running the gate and regenerating baselines'
 
 if [ "$fail" -ne 0 ]; then
     exit 1
