@@ -14,6 +14,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"nexus"
 	"nexus/internal/baselines"
 	"nexus/internal/core"
+	"nexus/internal/counting"
 	"nexus/internal/harness"
 	"nexus/internal/kg"
 	"nexus/internal/obs"
@@ -439,9 +441,55 @@ type benchObsEntry struct {
 	// internal/server attaches per request). benchcmp gates both
 	// increase-only, so the instrumented number backs the metrics-are-cheap
 	// claim across commits.
-	ExplainNS             int64            `json:"explain_ns"`
-	ExplainInstrumentedNS int64            `json:"explain_instrumented_ns"`
-	Counters              map[string]int64 `json:"counters"`
+	ExplainNS             int64 `json:"explain_ns"`
+	ExplainInstrumentedNS int64 `json:"explain_instrumented_ns"`
+	// Fixed-iteration microbenchmark of the unified counting kernel (a batch
+	// of fused three-way passes over synthetic codes at this workload's row
+	// count) — the dedicated wall-clock gate for internal/counting, sized
+	// well past benchcmp's 10ms floor so regressions in the kernel itself
+	// surface even when the end-to-end timings absorb them.
+	CountingNS int64            `json:"counting_ns"`
+	Counters   map[string]int64 `json:"counters"`
+}
+
+// timeCountingKernel measures a fixed batch of kernel passes over seeded
+// synthetic codes: the counting_ns entry of BENCH_obs.json. Deterministic
+// data, fixed iteration count — only the kernel's own speed moves it.
+func timeCountingKernel(n int) time.Duration {
+	r := rand.New(rand.NewSource(17))
+	x := make([]int32, n)
+	y := make([]int32, n)
+	z := make([]int32, n)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = int32(r.Intn(8))
+		y[i] = int32(r.Intn(8))
+		z[i] = int32(r.Intn(16))
+		w[i] = 0.5 + r.Float64()
+		if r.Intn(20) == 0 {
+			x[i] = -1
+		}
+	}
+	// Equalize total row-visits (8M) across workload sizes so every
+	// counting_ns entry measures a comparable, tens-of-ms batch — long
+	// enough that scheduler jitter stays well inside the benchcmp wall
+	// tolerance.
+	iters := 8_000_000 / n
+	if iters < 1 {
+		iters = 1
+	}
+	sink := 0.0
+	start := time.Now()
+	for iter := 0; iter < iters; iter++ {
+		tl := counting.CountXYZ(x, y, 8, 8, z, 16, w)
+		sink += tl.WeightSum
+		tl.Release()
+	}
+	elapsed := time.Since(start)
+	if sink <= 0 {
+		panic("counting kernel benchmark produced no weight")
+	}
+	return elapsed
 }
 
 // TestBenchObsJSON runs a traced end-to-end Explain for the SO and Flights
@@ -527,6 +575,7 @@ func TestBenchObsJSON(t *testing.T) {
 			SubgroupsParallelNS:   parallelNS.Nanoseconds(),
 			ExplainNS:             explainNS.Nanoseconds(),
 			ExplainInstrumentedNS: instrumentedNS.Nanoseconds(),
+			CountingNS:            timeCountingKernel(ds.Table.NumRows()).Nanoseconds(),
 			Counters:              snap.Counters,
 		}
 	}
@@ -551,6 +600,14 @@ func TestBenchObsJSON(t *testing.T) {
 		for _, c := range []string{obs.GroupsScored, obs.SubgroupBatches, obs.SubgroupNodesExplored} {
 			if e.Counters[c] == 0 {
 				t.Errorf("%s: expected a nonzero %s counter from the subgroup searches", key, c)
+			}
+		}
+		if e.CountingNS <= 0 {
+			t.Errorf("%s: expected a positive counting_ns", key)
+		}
+		for _, c := range []string{obs.CountingDensePasses, obs.CountingPartitions} {
+			if e.Counters[c] == 0 {
+				t.Errorf("%s: expected a nonzero %s counter from the kernel capture windows", key, c)
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nexus/internal/bins"
+	"nexus/internal/counting"
 	"nexus/internal/infotheory"
 	"nexus/internal/obs"
 	"nexus/internal/stats"
@@ -181,6 +182,13 @@ func ExplainCtx(ctx context.Context, t, o *bins.Encoded, cands []*Candidate, opt
 	tr := opts.Trace
 	esp := tr.Start("core-explain")
 	defer esp.End()
+	// Publish the run's counting-kernel effort (dense/sparse passes, ID
+	// joins, partitions) as the delta of the kernel's process-wide counters
+	// over this call. The prune and MCIMR phases below all tally through the
+	// kernel; the only other capture window (the subgroup search) is a
+	// sibling phase, so no pass is counted twice.
+	countBase := counting.Stats()
+	defer func() { counting.Stats().Delta(countBase).Each(tr.Add) }()
 
 	res := &Explanation{BaseScore: infotheory.MutualInfo(o, t, nil)}
 	rc := newRunCache(tr)

@@ -1,0 +1,585 @@
+// Package counting is the unified contingency/group-by counting engine
+// behind every tally loop of the scoring pipeline. The information-theoretic
+// estimators (package infotheory), the fused online-prune screen, the
+// composite-variable coding (JoinVars), the subgroup-lattice partitioner and
+// table group-by all reduce to the same primitive: walk the rows once,
+// skip incomplete cases, and accumulate optionally-IPW-weighted counts into
+// a contingency table keyed by one, two or three dense code axes.
+//
+// Before this package each of those sites maintained its own loop — exactly
+// where silent correctness drift breeds. Now they share:
+//
+//   - one composite dense-ID coding (IDs), the product indexing shared with
+//     bins.Encoded codes and JoinVars, with a first-seen dense fallback when
+//     the cardinality product leaves the dense bound;
+//   - one dense-array fast path under MaxDense with a hash-map fallback,
+//     gated identically everywhere so a call site can never disagree with
+//     the estimator it feeds about which representation is in play;
+//   - one pooled scratch (Release() recycling) so the hot paths — the online
+//     prune runs a pass per surviving candidate, MCIMR a pass per considered
+//     candidate per iteration — stop paying a GC churn of one
+//     cardinality-product allocation per statistic;
+//   - one missing-row convention (code < 0 is skipped; a row is counted by a
+//     pass only when every axis of that pass is present) and one weight
+//     convention (nil = uniform 1.0).
+//
+// Bit-identity discipline: every Count* accumulation loop preserves the
+// per-row visit order and the exact float-add sequence of the pre-migration
+// loop it replaced, so the buffers it fills are bit-identical to the ones
+// the old code built and every downstream finalize produces byte-identical
+// statistics. The differential oracles live with the call sites
+// (infotheory/oracle_test.go, table, subgroups); this package's own fuzz
+// test (FuzzCountParity) pins dense path == map path == naive per-row tally
+// cell for cell.
+//
+// The package is dependency-free except for the obs counter names, and all
+// types operate on raw []int32 code columns so that package table (which
+// bins depends on) can use it without an import cycle. Missing mirrors
+// bins.Missing; the equality is pinned by a test in infotheory.
+package counting
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nexus/internal/obs"
+)
+
+// Missing is the code of a null value, mirroring bins.Missing. Any negative
+// code is treated as missing by every pass.
+const Missing int32 = -1
+
+// MaxDense bounds the contingency-array size of the dense fast path; larger
+// joint domains fall back to hash maps. It is also the bound of the
+// composite-ID product coding (IDs). The value predates this package
+// (infotheory's maxDense) and every dense/sparse gate in the pipeline keys
+// off it, so changing it changes which representation — not which value —
+// every statistic is computed with.
+const MaxDense = 1 << 22
+
+// Dim is one code column feeding a counting pass: Codes[i] ∈ [0, Card) or
+// negative for missing.
+type Dim struct {
+	Codes []int32
+	Card  int
+}
+
+// ---------------------------------------------------------------------------
+// Effort counters. Process-wide atomics: the kernel is called from parallel
+// workers that cannot carry a per-run sink, so callers (core.ExplainCtx, the
+// subgroup search) snapshot before/after and publish the delta into their
+// trace or counter set. Concurrent runs therefore attribute each other's
+// passes to whichever capture window is open — totals are always conserved,
+// and in the servers all windows feed one shared counter set anyway.
+
+var (
+	densePasses  atomic.Int64
+	sparsePasses atomic.Int64
+	idJoins      atomic.Int64
+	partitions   atomic.Int64
+)
+
+// Counters is a snapshot of the kernel's process-wide effort counters.
+type Counters struct {
+	// DensePasses counts tally passes served by the dense-array fast path
+	// (vector, pair, three-way and fused-screen passes alike); SparsePasses
+	// counts hash-map fallback passes.
+	DensePasses  int64
+	SparsePasses int64
+	// IDJoins counts composite dense-ID builds over ≥ 2 variables (the
+	// JoinVars / conditioning-set coding).
+	IDJoins int64
+	// Partitions counts row-partition passes (the subgroup lattice's
+	// per-attribute child partitions and table group-by row grouping).
+	Partitions int64
+}
+
+// Stats returns the current counter snapshot.
+func Stats() Counters {
+	return Counters{
+		DensePasses:  densePasses.Load(),
+		SparsePasses: sparsePasses.Load(),
+		IDJoins:      idJoins.Load(),
+		Partitions:   partitions.Load(),
+	}
+}
+
+// Delta returns c - prev, field by field.
+func (c Counters) Delta(prev Counters) Counters {
+	return Counters{
+		DensePasses:  c.DensePasses - prev.DensePasses,
+		SparsePasses: c.SparsePasses - prev.SparsePasses,
+		IDJoins:      c.IDJoins - prev.IDJoins,
+		Partitions:   c.Partitions - prev.Partitions,
+	}
+}
+
+// Each calls f for every nonzero counter under its canonical obs name
+// (counting_*). f is typically (*obs.Trace).Add or a wrapper over
+// (*obs.Counters).Add.
+func (c Counters) Each(f func(name string, v int64)) {
+	if c.DensePasses != 0 {
+		f(obs.CountingDensePasses, c.DensePasses)
+	}
+	if c.SparsePasses != 0 {
+		f(obs.CountingSparsePasses, c.SparsePasses)
+	}
+	if c.IDJoins != 0 {
+		f(obs.CountingIDJoins, c.IDJoins)
+	}
+	if c.Partitions != 0 {
+		f(obs.CountingPartitions, c.Partitions)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pooled scratch. One backing array per pass, carved into the pass's tally
+// buffers; Release returns it for reuse. The dominant tally (a three-way
+// joint) is cardinality-product sized — without reuse the online prune's
+// allocation churn is GBs per query and the GC becomes a top profile entry.
+
+type scratch struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// grab returns a zeroed float64 buffer of length need backed by the pool.
+func grab(need int) *scratch {
+	sc := pool.Get().(*scratch)
+	if cap(sc.buf) < need {
+		sc.buf = make([]float64, need)
+	} else {
+		sc.buf = sc.buf[:need]
+		clear(sc.buf)
+	}
+	return sc
+}
+
+func (sc *scratch) release() {
+	if sc != nil {
+		pool.Put(sc)
+	}
+}
+
+func weightAt(w []float64, i int) float64 {
+	if w == nil {
+		return 1
+	}
+	return w[i]
+}
+
+// ---------------------------------------------------------------------------
+// Composite dense-ID coding.
+
+// IDs maps each row to a dense id identifying the combination of codes of
+// the given dimensions (-1 when any is missing), and returns the number of
+// distinct ids. With no dimensions every row maps to id 0; with one the
+// dimension's own code column is returned unchanged (aliased, not copied).
+// While the cardinality product stays within MaxDense the id is the direct
+// product index (so incremental joins compose, see infotheory.JoinVars);
+// beyond it observed combinations are numbered densely in first-seen order —
+// the partition, and hence every downstream count, is unaffected.
+func IDs(dims []Dim, n int) (ids []int32, card int) {
+	switch len(dims) {
+	case 0:
+		ids = make([]int32, n)
+		return ids, 1
+	case 1:
+		return dims[0].Codes, maxInt(dims[0].Card, 1)
+	}
+	idJoins.Add(1)
+	// Try direct product indexing while the domain stays small.
+	product := 1
+	ok := true
+	for _, g := range dims {
+		if g.Card == 0 {
+			ok = false
+			break
+		}
+		product *= g.Card
+		if product > MaxDense {
+			ok = false
+			break
+		}
+	}
+	ids = make([]int32, n)
+	if ok {
+		for i := 0; i < n; i++ {
+			id := 0
+			for _, g := range dims {
+				c := g.Codes[i]
+				if c < 0 {
+					id = -1
+					break
+				}
+				id = id*g.Card + int(c)
+			}
+			ids[i] = int32(id)
+		}
+		return ids, product
+	}
+	// Fall back to dense assignment of observed combinations.
+	seen := make(map[string]int32)
+	buf := make([]byte, 0, len(dims)*4)
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		miss := false
+		for _, g := range dims {
+			c := g.Codes[i]
+			if c < 0 {
+				miss = true
+				break
+			}
+			buf = append(buf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		if miss {
+			ids[i] = -1
+			continue
+		}
+		id, found := seen[string(buf)]
+		if !found {
+			id = int32(len(seen))
+			seen[string(buf)] = id
+		}
+		ids[i] = id
+	}
+	return ids, maxInt(len(seen), 1)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// One-axis pass.
+
+// Vec is a weighted one-axis tally: Counts[c] is the weight of the rows with
+// code c, Total their sum. Backed by pooled storage — call Release when done.
+type Vec struct {
+	Counts []float64
+	Total  float64
+	sc     *scratch
+}
+
+// CountVec tallies one code column, skipping missing rows.
+func CountVec(codes []int32, card int, w []float64) Vec {
+	densePasses.Add(1)
+	sc := grab(card)
+	v := Vec{Counts: sc.buf, sc: sc}
+	for i, c := range codes {
+		if c < 0 {
+			continue
+		}
+		wt := weightAt(w, i)
+		v.Counts[c] += wt
+		v.Total += wt
+	}
+	return v
+}
+
+// Release returns the tally storage to the pool; the Vec must not be read
+// afterwards.
+func (v *Vec) Release() {
+	v.Counts = nil
+	v.sc.release()
+	v.sc = nil
+}
+
+// ---------------------------------------------------------------------------
+// Two-axis pass with one margin.
+
+// Pair is a weighted (x, e) tally with the e margin: Joint[x*Ce+e], EMargin[e]
+// and the complete-case weight Total, all over rows where both axes are
+// present. Backed by pooled storage — call Release when done.
+type Pair struct {
+	Cx, Ce  int
+	Joint   []float64
+	EMargin []float64
+	Total   float64
+	sc      *scratch
+}
+
+// CountPair tallies two code columns jointly. The caller gates on
+// cx*ce ≤ MaxDense (the conditional-entropy fast path's bound).
+func CountPair(x, e []int32, cx, ce int, w []float64) Pair {
+	densePasses.Add(1)
+	sc := grab(cx*ce + ce)
+	p := Pair{Cx: cx, Ce: ce, Joint: sc.buf[: cx*ce : cx*ce], EMargin: sc.buf[cx*ce:], sc: sc}
+	for i, xc := range x {
+		yc := e[i]
+		if xc < 0 || yc < 0 {
+			continue
+		}
+		wt := weightAt(w, i)
+		p.Joint[int(xc)*ce+int(yc)] += wt
+		p.EMargin[yc] += wt
+		p.Total += wt
+	}
+	return p
+}
+
+// Release returns the tally storage to the pool.
+func (p *Pair) Release() {
+	p.Joint, p.EMargin = nil, nil
+	p.sc.release()
+	p.sc = nil
+}
+
+// ---------------------------------------------------------------------------
+// Three-axis pass (z strata × x × y) with all margins — the CMI tally.
+
+// Cell is one (z, x, y) coordinate of a sparse three-axis tally.
+type Cell struct{ Z, X, Y int32 }
+
+// XYZ is a weighted three-axis contingency tally with the zx, zy and z
+// margins and the weight sums the debiased estimators need. Dense selects
+// the representation: the array fields when true, the map fields when the
+// joint domain exceeded MaxDense. Backed by pooled storage on the dense
+// path — call Release when done (a no-op for the sparse representation).
+type XYZ struct {
+	Dense         bool
+	Cx, Cy, Zcard int
+	Joint, ZX, ZY []float64 // dense: Joint[(z*Cx+x)*Cy+y], ZX[z*Cx+x], ZY[z*Cy+y]
+	Z             []float64 // dense: Z[z]
+	MJoint        map[Cell]float64
+	MZX, MZY      map[[2]int32]float64
+	MZ            map[int32]float64
+	XSeen, YSeen  map[int32]struct{} // sparse only: distinct codes observed
+	WeightSum     float64
+	WeightSqSum   float64
+	sc            *scratch
+}
+
+// CountXYZ tallies x and y against the z strata of zids (a pre-joined
+// conditioning id column, see IDs). The dense path applies when the joint
+// domain zcard·cx·cy is positive and within MaxDense — the same gate the
+// pre-migration estimators used, so the fallback routes exactly the passes
+// the old code sent to its hash-map tally.
+func CountXYZ(x, y []int32, cx, cy int, zids []int32, zcard int, w []float64) XYZ {
+	size := zcard * cx * cy
+	if size > 0 && size <= MaxDense {
+		return countXYZDense(x, y, cx, cy, zids, zcard, w)
+	}
+	return countXYZSparse(x, y, cx, cy, zids, zcard, w)
+}
+
+func countXYZDense(x, y []int32, cx, cy int, zids []int32, zcard int, w []float64) XYZ {
+	densePasses.Add(1)
+	need := zcard*cx*cy + zcard*cx + zcard*cy + zcard
+	sc := grab(need)
+	buf := sc.buf
+	cut := func(n int) []float64 { part := buf[:n:n]; buf = buf[n:]; return part }
+	t := XYZ{Dense: true, Cx: cx, Cy: cy, Zcard: zcard, sc: sc}
+	t.Joint = cut(zcard * cx * cy)
+	t.ZX = cut(zcard * cx)
+	t.ZY = cut(zcard * cy)
+	t.Z = cut(zcard)
+	for i := 0; i < len(zids); i++ {
+		zi := zids[i]
+		xc, yc := x[i], y[i]
+		if zi < 0 || xc < 0 || yc < 0 {
+			continue
+		}
+		wt := weightAt(w, i)
+		t.Joint[(int(zi)*cx+int(xc))*cy+int(yc)] += wt
+		t.ZX[int(zi)*cx+int(xc)] += wt
+		t.ZY[int(zi)*cy+int(yc)] += wt
+		t.Z[zi] += wt
+		t.WeightSum += wt
+		t.WeightSqSum += wt * wt
+	}
+	return t
+}
+
+func countXYZSparse(x, y []int32, cx, cy int, zids []int32, zcard int, w []float64) XYZ {
+	sparsePasses.Add(1)
+	t := XYZ{
+		Cx: cx, Cy: cy, Zcard: zcard,
+		MJoint: make(map[Cell]float64),
+		MZX:    make(map[[2]int32]float64),
+		MZY:    make(map[[2]int32]float64),
+		MZ:     make(map[int32]float64),
+		XSeen:  make(map[int32]struct{}),
+		YSeen:  make(map[int32]struct{}),
+	}
+	for i := 0; i < len(zids); i++ {
+		zi := zids[i]
+		xc, yc := x[i], y[i]
+		if zi < 0 || xc < 0 || yc < 0 {
+			continue
+		}
+		wt := weightAt(w, i)
+		t.MJoint[Cell{zi, xc, yc}] += wt
+		t.MZX[[2]int32{zi, xc}] += wt
+		t.MZY[[2]int32{zi, yc}] += wt
+		t.MZ[zi] += wt
+		t.XSeen[xc] = struct{}{}
+		t.YSeen[yc] = struct{}{}
+		t.WeightSum += wt
+		t.WeightSqSum += wt * wt
+	}
+	return t
+}
+
+// Release returns the dense tally storage to the pool; the XYZ must not be
+// read afterwards. A no-op for the sparse representation (maps are simply
+// garbage-collected).
+func (t *XYZ) Release() {
+	if t.sc == nil {
+		return
+	}
+	t.Joint, t.ZX, t.ZY, t.Z = nil, nil, nil, nil
+	t.sc.release()
+	t.sc = nil
+}
+
+// ---------------------------------------------------------------------------
+// Fused online-prune screen pass.
+
+// Screen is the fused tally of the online prune's three statistics over one
+// (o, t, e) triple — the FD entropies over (O,T,E) complete rows, the
+// marginal O ⊥ E tallies over (O,E) complete rows, and the conditional
+// O ⊥ E | T tallies over the (O,T,E) rows — all from a single pass in the
+// same per-row order as the unfused estimators, so every statistic finalized
+// from these buffers is bit-identical to its unfused counterpart. Backed by
+// pooled storage — call Release once the verdicts have been read.
+type Screen struct {
+	Co, Ct, Ce int
+	EO, ZE     []float64 // z = e margins over (O,T,E) complete rows (FD tests)
+	JointT     []float64 // [(t·Co+o)·Ce+e] over (O,T,E) complete rows
+	TO, TE, TM []float64 // z = t margins over the same rows (conditional test)
+	WS3, WSQ3  float64   // weight sums over (O,T,E) complete rows
+	OE         []float64 // [o·Ce+e] over (O,E) complete rows
+	OM, EM     []float64
+	WS2, WSQ2  float64
+	sc         *scratch
+}
+
+// CountScreen runs the fused pass, or returns nil when the joint domain
+// leaves the dense bound (degenerate cards, ce·co > MaxDense or
+// ce·co·ct > MaxDense) — exactly the condition under which the unfused
+// estimators would abandon their dense path, so the caller's fallback routes
+// precisely the candidates the unfused pipeline would have sent to the
+// sparse estimator.
+func CountScreen(o, t, e []int32, co, ct, ce int, w []float64) *Screen {
+	if co <= 0 || ct <= 0 || ce <= 0 {
+		return nil
+	}
+	size := ce * co
+	if size > MaxDense || size*ct > MaxDense {
+		return nil
+	}
+	densePasses.Add(1)
+	need := ce*co + ce + ct*co*ce + ct*co + ct*ce + ct + co*ce + co + ce
+	sc := grab(need)
+	buf := sc.buf
+	cut := func(n int) []float64 { part := buf[:n:n]; buf = buf[n:]; return part }
+	s := &Screen{Co: co, Ct: ct, Ce: ce, sc: sc}
+	s.EO = cut(ce * co)
+	s.ZE = cut(ce)
+	s.JointT = cut(ct * co * ce)
+	s.TO = cut(ct * co)
+	s.TE = cut(ct * ce)
+	s.TM = cut(ct)
+	s.OE = cut(co * ce)
+	s.OM = cut(co)
+	s.EM = cut(ce)
+	eo, zE := s.EO, s.ZE
+	jointT, to, te, tM := s.JointT, s.TO, s.TE, s.TM
+	oe, oM, eM := s.OE, s.OM, s.EM
+	var ws2, wsq2, ws3, wsq3 float64
+	for i := 0; i < len(e); i++ {
+		oc, tc, ec := o[i], t[i], e[i]
+		if oc < 0 || ec < 0 {
+			continue
+		}
+		oci, eci := int(oc), int(ec)
+		wt := weightAt(w, i)
+		oe[oci*ce+eci] += wt
+		oM[oci] += wt
+		eM[eci] += wt
+		ws2 += wt
+		wsq2 += wt * wt
+		if tc < 0 {
+			continue
+		}
+		tci := int(tc)
+		eo[eci*co+oci] += wt
+		zE[eci] += wt
+		jointT[(tci*co+oci)*ce+eci] += wt
+		to[tci*co+oci] += wt
+		te[tci*ce+eci] += wt
+		tM[tci] += wt
+		ws3 += wt
+		wsq3 += wt * wt
+	}
+	s.WS2, s.WSQ2, s.WS3, s.WSQ3 = ws2, wsq2, ws3, wsq3
+	return s
+}
+
+// Release returns the tally storage to the pool; the Screen must not be read
+// afterwards.
+func (s *Screen) Release() {
+	if s == nil || s.sc == nil {
+		return
+	}
+	s.EO, s.ZE = nil, nil
+	s.JointT, s.TO, s.TE, s.TM = nil, nil, nil, nil
+	s.OE, s.OM, s.EM = nil, nil, nil
+	s.sc.release()
+	s.sc = nil
+}
+
+// ---------------------------------------------------------------------------
+// Row partitioning (group-by).
+
+// PartitionRows groups the given rows by their code in the codes column,
+// skipping missing rows. Codes are returned in first-appearance order (the
+// subgroup lattice sorts them; group-by callers key off first appearance);
+// each part lists its rows in the input order.
+func PartitionRows(codes []int32, rows []int) (order []int32, parts map[int32][]int) {
+	partitions.Add(1)
+	parts = make(map[int32][]int)
+	for _, r := range rows {
+		c := codes[r]
+		if c < 0 {
+			continue
+		}
+		if parts[c] == nil {
+			order = append(order, c)
+		}
+		parts[c] = append(parts[c], r)
+	}
+	return order, parts
+}
+
+// GroupRows partitions the row indices [0, len(ids)) by their dense group id
+// (negative ids are skipped): rowsets[id] lists the id's rows in ascending
+// order. The rowsets share one backing array — a two-pass fill, so the whole
+// partition costs two allocations regardless of group count.
+func GroupRows(ids []int32, card int) [][]int {
+	partitions.Add(1)
+	sizes := make([]int, card)
+	total := 0
+	for _, id := range ids {
+		if id >= 0 {
+			sizes[id]++
+			total++
+		}
+	}
+	backing := make([]int, total)
+	rowsets := make([][]int, card)
+	off := 0
+	for g, n := range sizes {
+		rowsets[g] = backing[off : off : off+n]
+		off += n
+	}
+	for row, id := range ids {
+		if id >= 0 {
+			rowsets[id] = append(rowsets[id], row)
+		}
+	}
+	return rowsets
+}

@@ -1,0 +1,131 @@
+package counting
+
+// FuzzCountParity pins the kernel's two representations to each other and to
+// an independent naive tally: for random cards, codes, missing masks and
+// weight vectors, the dense-array pass, the hash-map pass and a from-scratch
+// per-row map tally must agree cell for cell. Weights are dyadic rationals
+// (multiples of 0.25), so every accumulation is exact and the comparison is
+// equality, not epsilon — any disagreement is a real counting bug, never
+// float noise. The seed corpus is checked in under testdata/fuzz; CI runs
+// the target as a bounded smoke iteration.
+
+import (
+	"testing"
+)
+
+// fuzzScenario decodes fuzz bytes into a counting instance: a 4-byte header
+// (cards and weightedness) followed by 4 bytes per row.
+func fuzzScenario(data []byte) (x, y, z []int32, cx, cy, zc int, w []float64, ok bool) {
+	if len(data) < 8 {
+		return nil, nil, nil, 0, 0, 0, nil, false
+	}
+	cx = 1 + int(data[0]%6)
+	cy = 1 + int(data[1]%6)
+	zc = 1 + int(data[2]%6)
+	weighted := data[3]%2 == 1
+	rows := data[4:]
+	n := len(rows) / 4
+	if n > 512 {
+		n = 512
+	}
+	x = make([]int32, n)
+	y = make([]int32, n)
+	z = make([]int32, n)
+	if weighted {
+		w = make([]float64, n)
+	}
+	code := func(b byte, card int) int32 {
+		if b%8 == 7 {
+			return Missing
+		}
+		return int32(int(b) % card)
+	}
+	for i := 0; i < n; i++ {
+		x[i] = code(rows[4*i], cx)
+		y[i] = code(rows[4*i+1], cy)
+		z[i] = code(rows[4*i+2], zc)
+		if weighted {
+			w[i] = 0.25 * float64(rows[4*i+3]%8)
+		}
+	}
+	return x, y, z, cx, cy, zc, w, true
+}
+
+func FuzzCountParity(f *testing.F) {
+	f.Add([]byte("\x03\x02\x04\x01" + "abcdefghijklmnopqrstuvwxyz0123456789"))
+	f.Add([]byte("\x01\x05\x02\x00" + "ZZZZZZZZ77778888AAAA"))
+	f.Add([]byte{5, 5, 5, 1, 7, 7, 7, 7, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, y, z, cx, cy, zc, w, ok := fuzzScenario(data)
+		if !ok {
+			t.Skip()
+		}
+		n := len(x)
+
+		// Naive oracle: one pass, plain maps, no shared code with the kernel.
+		type cell struct{ z, x, y int32 }
+		naive := map[cell]float64{}
+		naiveZ := map[int32]float64{}
+		var naiveTotal float64
+		for i := 0; i < n; i++ {
+			if x[i] < 0 || y[i] < 0 || z[i] < 0 {
+				continue
+			}
+			wt := 1.0
+			if w != nil {
+				wt = w[i]
+			}
+			naive[cell{z[i], x[i], y[i]}] += wt
+			naiveZ[z[i]] += wt
+			naiveTotal += wt
+		}
+
+		// Dense path (cards ≤ 6 keep the domain ≤ 216, well under MaxDense).
+		d := CountXYZ(x, y, cx, cy, z, zc, w)
+		defer d.Release()
+		if !d.Dense {
+			t.Fatalf("expected dense path for domain %d", zc*cx*cy)
+		}
+		// Map path, forced on identical data.
+		s := countXYZSparse(x, y, cx, cy, z, zc, w)
+
+		if d.WeightSum != naiveTotal || s.WeightSum != naiveTotal {
+			t.Fatalf("weight sums: dense %v map %v naive %v", d.WeightSum, s.WeightSum, naiveTotal)
+		}
+		for zi := 0; zi < zc; zi++ {
+			for xc := 0; xc < cx; xc++ {
+				for yc := 0; yc < cy; yc++ {
+					dv := d.Joint[(zi*cx+xc)*cy+yc]
+					sv := s.MJoint[Cell{int32(zi), int32(xc), int32(yc)}]
+					nv := naive[cell{int32(zi), int32(xc), int32(yc)}]
+					if dv != sv || dv != nv {
+						t.Fatalf("cell (%d,%d,%d): dense %v map %v naive %v", zi, xc, yc, dv, sv, nv)
+					}
+				}
+			}
+		}
+		for zi := 0; zi < zc; zi++ {
+			if d.Z[zi] != naiveZ[int32(zi)] || s.MZ[int32(zi)] != naiveZ[int32(zi)] {
+				t.Fatalf("Z[%d]: dense %v map %v naive %v", zi, d.Z[zi], s.MZ[int32(zi)], naiveZ[int32(zi)])
+			}
+		}
+
+		// The one-axis pass must agree with the three-axis z margin when fed
+		// the rows the three-axis pass counted.
+		masked := make([]int32, n)
+		for i := range masked {
+			if x[i] < 0 || y[i] < 0 {
+				masked[i] = Missing
+			} else {
+				masked[i] = z[i]
+			}
+		}
+		v := CountVec(masked, zc, w)
+		defer v.Release()
+		for zi := 0; zi < zc; zi++ {
+			if v.Counts[zi] != naiveZ[int32(zi)] {
+				t.Fatalf("CountVec[%d] = %v, naive %v", zi, v.Counts[zi], naiveZ[int32(zi)])
+			}
+		}
+	})
+}

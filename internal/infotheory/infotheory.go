@@ -6,35 +6,39 @@
 // are skipped. Inverse-probability weights (package missing) are passed as an
 // optional per-row weight vector; a nil weight vector means uniform weights.
 // This mirrors how the paper combines complete-case analysis with IPW (§3.2).
+//
+// All counting passes route through the unified kernel (internal/counting);
+// this package owns only the finalize arithmetic — probabilities and
+// logarithms over the kernel's tally buffers. The finalize loops read those
+// buffers in the same iteration order as the pre-migration standalone
+// estimators, and the kernel's accumulation loops preserve their per-row add
+// sequence, so every statistic here is bit-identical to its pre-kernel
+// implementation (pinned by the differential oracles in oracle_test.go).
 package infotheory
 
 import (
 	"math"
+	"sort"
 
 	"nexus/internal/bins"
+	"nexus/internal/counting"
 )
 
 // Var is a discretized column.
 type Var = *bins.Encoded
 
 // maxDense bounds the contingency-array size of the dense fast path; larger
-// joint domains fall back to hash maps.
-const maxDense = 1 << 22
+// joint domains fall back to hash maps. It is the kernel's bound — the gates
+// here and the representations there must key off the same constant.
+const maxDense = counting.MaxDense
 
 // Entropy returns the Shannon entropy H(X) in bits over complete cases,
 // optionally weighted. Returns 0 when no complete cases exist.
 func Entropy(x Var, w []float64) float64 {
-	counts := make([]float64, x.Card)
-	total := 0.0
-	for i, c := range x.Codes {
-		if c == bins.Missing {
-			continue
-		}
-		wt := weightAt(w, i)
-		counts[c] += wt
-		total += wt
-	}
-	return entropyOf(counts, total)
+	v := counting.CountVec(x.Codes, x.Card, w)
+	h := entropyOf(v.Counts, v.Total)
+	v.Release()
+	return h
 }
 
 // JointEntropy returns H(X1, ..., Xk) in bits over rows where every variable
@@ -45,17 +49,10 @@ func JointEntropy(xs []Var, w []float64) float64 {
 	}
 	n := xs[0].Len()
 	ids, card := DenseIDs(xs, n)
-	counts := make([]float64, card)
-	total := 0.0
-	for i, id := range ids {
-		if id < 0 {
-			continue
-		}
-		wt := weightAt(w, i)
-		counts[id] += wt
-		total += wt
-	}
-	return entropyOf(counts, total)
+	v := counting.CountVec(ids, card, w)
+	h := entropyOf(v.Counts, v.Total)
+	v.Release()
+	return h
 }
 
 // CondEntropy returns H(X | G1, ..., Gk) in bits over complete cases.
@@ -65,7 +62,8 @@ func CondEntropy(x Var, given []Var, w []float64) float64 {
 		return Entropy(x, w)
 	}
 	all := append([]Var{x}, given...)
-	return JointEntropy(all, maskedWeights(all, w)) - JointEntropy(given, maskedWeights(all, w))
+	mw := maskedWeights(all, w)
+	return JointEntropy(all, mw) - JointEntropy(given, mw)
 }
 
 // Screen returns, from one counting pass, the triple the online prune and
@@ -89,27 +87,16 @@ func CondEntropyPair(x, e Var, w []float64) float64 {
 		mw := maskedWeights(all, w)
 		return JointEntropy(all, mw) - JointEntropy([]Var{e}, mw)
 	}
-	joint := make([]float64, cx*ce)
-	ec := make([]float64, ce)
-	total := 0.0
-	for i, xc := range x.Codes {
-		yc := e.Codes[i]
-		if xc == bins.Missing || yc == bins.Missing {
-			continue
-		}
-		wt := weightAt(w, i)
-		joint[int(xc)*ce+int(yc)] += wt
-		ec[yc] += wt
-		total += wt
-	}
-	if total <= 0 {
+	p := counting.CountPair(x.Codes, e.Codes, cx, ce, w)
+	defer p.Release()
+	if p.Total <= 0 {
 		return 0
 	}
 	h := 0.0
 	for xc := 0; xc < cx; xc++ {
 		for yc := 0; yc < ce; yc++ {
-			if pj := joint[xc*ce+yc]; pj > 0 {
-				h -= pj / total * math.Log2(pj/ec[yc])
+			if pj := p.Joint[xc*ce+yc]; pj > 0 {
+				h -= pj / p.Total * math.Log2(pj/p.EMargin[yc])
 			}
 		}
 	}
@@ -174,34 +161,20 @@ func cmi(x, y Var, given []Var, w []float64) cmiStats {
 	if cx == 0 || cy == 0 {
 		return cmiStats{}
 	}
-	size := zcard * cx * cy
-	if size > 0 && size <= maxDense {
-		return cmiDense(x, y, zids, zcard, w)
+	t := counting.CountXYZ(x.Codes, y.Codes, cx, cy, zids, zcard, w)
+	if t.Dense {
+		return cmiDenseStats(&t)
 	}
-	return cmiSparse(x, y, zids, w)
+	return cmiSparseStats(&t)
 }
 
-func cmiDense(x, y Var, zids []int32, zcard int, w []float64) cmiStats {
-	cx, cy := x.Card, y.Card
-	joint := make([]float64, zcard*cx*cy)
-	zx := make([]float64, zcard*cx)
-	zy := make([]float64, zcard*cy)
-	z := make([]float64, zcard)
-	var s cmiStats
-	for i := 0; i < len(zids); i++ {
-		zi := zids[i]
-		xc, yc := x.Codes[i], y.Codes[i]
-		if zi < 0 || xc == bins.Missing || yc == bins.Missing {
-			continue
-		}
-		wt := weightAt(w, i)
-		joint[(int(zi)*cx+int(xc))*cy+int(yc)] += wt
-		zx[int(zi)*cx+int(xc)] += wt
-		zy[int(zi)*cy+int(yc)] += wt
-		z[zi] += wt
-		s.weightSum += wt
-		s.weightSqSum += wt * wt
-	}
+// cmiDenseStats finalizes the dense three-way tally. Loop order (z outer,
+// then x, then y; margins after the MI) matches the pre-kernel estimator
+// exactly — same float-add sequence, bit-identical statistics.
+func cmiDenseStats(t *counting.XYZ) cmiStats {
+	defer t.Release()
+	cx, cy, zcard := t.Cx, t.Cy, t.Zcard
+	s := cmiStats{weightSum: t.WeightSum, weightSqSum: t.WeightSqSum}
 	if s.weightSum <= 0 {
 		return cmiStats{}
 	}
@@ -210,24 +183,24 @@ func cmiDense(x, y Var, zids []int32, zcard int, w []float64) cmiStats {
 	ySeen := make([]bool, cy)
 	mi := 0.0
 	for zi := 0; zi < zcard; zi++ {
-		if z[zi] <= 0 {
+		if t.Z[zi] <= 0 {
 			continue
 		}
 		s.nz++
 		for xc := 0; xc < cx; xc++ {
-			pzx := zx[zi*cx+xc]
+			pzx := t.ZX[zi*cx+xc]
 			if pzx <= 0 {
 				continue
 			}
 			xSeen[xc] = true
 			for yc := 0; yc < cy; yc++ {
-				pj := joint[(zi*cx+xc)*cy+yc]
+				pj := t.Joint[(zi*cx+xc)*cy+yc]
 				if pj <= 0 {
 					continue
 				}
 				ySeen[yc] = true
-				pzy := zy[zi*cy+yc]
-				mi += pj / total * math.Log2(z[zi]*pj/(pzx*pzy))
+				pzy := t.ZY[zi*cy+yc]
+				mi += pj / total * math.Log2(t.Z[zi]*pj/(pzx*pzy))
 			}
 		}
 	}
@@ -247,139 +220,99 @@ func cmiDense(x, y Var, zids []int32, zcard int, w []float64) cmiStats {
 	s.mi = mi
 	// Conditional entropies from the same tallies.
 	for zi := 0; zi < zcard; zi++ {
-		if z[zi] <= 0 {
+		if t.Z[zi] <= 0 {
 			continue
 		}
 		for xc := 0; xc < cx; xc++ {
-			if pzx := zx[zi*cx+xc]; pzx > 0 {
-				s.hx -= pzx / total * math.Log2(pzx/z[zi])
+			if pzx := t.ZX[zi*cx+xc]; pzx > 0 {
+				s.hx -= pzx / total * math.Log2(pzx/t.Z[zi])
 			}
 		}
 		for yc := 0; yc < cy; yc++ {
-			if pzy := zy[zi*cy+yc]; pzy > 0 {
-				s.hy -= pzy / total * math.Log2(pzy/z[zi])
+			if pzy := t.ZY[zi*cy+yc]; pzy > 0 {
+				s.hy -= pzy / total * math.Log2(pzy/t.Z[zi])
 			}
 		}
 	}
 	return s
 }
 
-func cmiSparse(x, y Var, zids []int32, w []float64) cmiStats {
-	type key struct {
-		z    int32
-		x, y int32
-	}
-	joint := make(map[key]float64)
-	zx := make(map[[2]int32]float64)
-	zy := make(map[[2]int32]float64)
-	z := make(map[int32]float64)
-	xSeen := make(map[int32]struct{})
-	ySeen := make(map[int32]struct{})
-	var s cmiStats
-	for i := 0; i < len(zids); i++ {
-		zi := zids[i]
-		xc, yc := x.Codes[i], y.Codes[i]
-		if zi < 0 || xc == bins.Missing || yc == bins.Missing {
-			continue
-		}
-		wt := weightAt(w, i)
-		joint[key{zi, xc, yc}] += wt
-		zx[[2]int32{zi, xc}] += wt
-		zy[[2]int32{zi, yc}] += wt
-		z[zi] += wt
-		xSeen[xc] = struct{}{}
-		ySeen[yc] = struct{}{}
-		s.weightSum += wt
-		s.weightSqSum += wt * wt
-	}
+// cmiSparseStats finalizes the hash-map fallback tally. Unlike the
+// pre-kernel estimator, which summed in Go's randomized map-range order (the
+// result varied in the last few ULPs from run to run), the finalize iterates
+// sorted keys: the sparse path is now deterministic for fixed input, at a
+// sort cost negligible next to the map tally itself.
+func cmiSparseStats(t *counting.XYZ) cmiStats {
+	s := cmiStats{weightSum: t.WeightSum, weightSqSum: t.WeightSqSum}
 	if s.weightSum <= 0 {
 		return cmiStats{}
 	}
+	cells := make([]counting.Cell, 0, len(t.MJoint))
+	for k := range t.MJoint {
+		cells = append(cells, k)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
 	mi := 0.0
-	for k, pj := range joint {
-		mi += pj / s.weightSum * math.Log2(z[k.z]*pj/(zx[[2]int32{k.z, k.x}]*zy[[2]int32{k.z, k.y}]))
+	for _, k := range cells {
+		pj := t.MJoint[k]
+		mi += pj / s.weightSum * math.Log2(t.MZ[k.Z]*pj/(t.MZX[[2]int32{k.Z, k.X}]*t.MZY[[2]int32{k.Z, k.Y}]))
 	}
 	if mi < 0 {
 		mi = 0
 	}
 	s.mi = mi
-	s.nx, s.ny, s.nz = len(xSeen), len(ySeen), len(z)
-	for k, pzx := range zx {
-		s.hx -= pzx / s.weightSum * math.Log2(pzx/z[k[0]])
-	}
-	for k, pzy := range zy {
-		s.hy -= pzy / s.weightSum * math.Log2(pzy/z[k[0]])
-	}
+	s.nx, s.ny, s.nz = len(t.XSeen), len(t.YSeen), len(t.MZ)
+	s.hx = sparseCondEntropy(t.MZX, t.MZ, s.weightSum)
+	s.hy = sparseCondEntropy(t.MZY, t.MZ, s.weightSum)
 	return s
+}
+
+// sparseCondEntropy computes H(V|Z) = -Σ p(z,v) log2 p(v|z) from a sparse
+// (z, v) margin, iterating keys in sorted order for determinism.
+func sparseCondEntropy(zv map[[2]int32]float64, z map[int32]float64, total float64) float64 {
+	keys := make([][2]int32, 0, len(zv))
+	for k := range zv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	h := 0.0
+	for _, k := range keys {
+		p := zv[k]
+		h -= p / total * math.Log2(p/z[k[0]])
+	}
+	return h
 }
 
 // DenseIDs maps each row to a dense id identifying the combination of codes
 // of the given variables (-1 when any is missing), and returns the number of
-// distinct ids. With no variables every row maps to id 0.
+// distinct ids. With no variables every row maps to id 0. This is the
+// kernel's composite coding (counting.IDs) over the variables' code columns.
 func DenseIDs(given []Var, n int) (ids []int32, card int) {
 	switch len(given) {
 	case 0:
-		ids = make([]int32, n)
-		return ids, 1
+		return counting.IDs(nil, n)
 	case 1:
-		return given[0].Codes, maxInt(given[0].Card, 1)
+		return counting.IDs([]counting.Dim{{Codes: given[0].Codes, Card: given[0].Card}}, n)
 	}
-	// Try direct product indexing while the domain stays small.
-	product := 1
-	ok := true
-	for _, g := range given {
-		if g.Card == 0 {
-			ok = false
-			break
-		}
-		product *= g.Card
-		if product > maxDense {
-			ok = false
-			break
-		}
+	dims := make([]counting.Dim, len(given))
+	for i, g := range given {
+		dims[i] = counting.Dim{Codes: g.Codes, Card: g.Card}
 	}
-	ids = make([]int32, n)
-	if ok {
-		for i := 0; i < n; i++ {
-			id := 0
-			for _, g := range given {
-				c := g.Codes[i]
-				if c == bins.Missing {
-					id = -1
-					break
-				}
-				id = id*g.Card + int(c)
-			}
-			ids[i] = int32(id)
-		}
-		return ids, product
-	}
-	// Fall back to dense assignment of observed combinations.
-	seen := make(map[string]int32)
-	buf := make([]byte, 0, len(given)*4)
-	for i := 0; i < n; i++ {
-		buf = buf[:0]
-		miss := false
-		for _, g := range given {
-			c := g.Codes[i]
-			if c == bins.Missing {
-				miss = true
-				break
-			}
-			buf = append(buf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
-		}
-		if miss {
-			ids[i] = -1
-			continue
-		}
-		id, found := seen[string(buf)]
-		if !found {
-			id = int32(len(seen))
-			seen[string(buf)] = id
-		}
-		ids[i] = id
-	}
-	return ids, maxInt(len(seen), 1)
+	return counting.IDs(dims, n)
 }
 
 // entropyOf computes -Σ p log2 p from weighted counts.

@@ -2,9 +2,8 @@ package infotheory
 
 import (
 	"math"
-	"sync"
 
-	"nexus/internal/bins"
+	"nexus/internal/counting"
 )
 
 // OnlineScreen holds the statistics the online prune needs for one
@@ -22,117 +21,40 @@ import (
 //
 // The unfused pipeline paid one full counting pass per statistic (a Screen
 // pass plus up to two CondIndependent passes per candidate) — the dominant
-// cost of the online-prune phase. ScreenAll accumulates the contingency
-// tallies of all of them in one pass, in the same per-row order as the
-// unfused estimators (cmiDense), so every statistic is bit-identical to
-// its unfused counterpart and no threshold verdict can flip. The FD
-// entropies additionally skip the unfused estimator's relevance (MI)
-// finalize loop over the 3-way joint — the prune discards that term.
+// cost of the online-prune phase. The fused pass (counting.CountScreen)
+// accumulates the contingency tallies of all of them at once, in the same
+// per-row order as the unfused estimators (cmiDenseStats), so every
+// statistic is bit-identical to its unfused counterpart and no threshold
+// verdict can flip. The FD entropies additionally skip the unfused
+// estimator's relevance (MI) finalize loop over the 3-way joint — the prune
+// discards that term.
 //
 // An OnlineScreen is used by a single goroutine (the prune worker that
 // built it) and must not be shared.
 type OnlineScreen struct {
 	weighted bool
 
-	// Dense fast path (ok): raw tallies from the fused pass. The gate
-	// matches the unfused estimators' dense gate exactly, so the fallback
-	// routes precisely the candidates the unfused pipeline would have sent
-	// to the sparse (hash-map) estimator.
-	ok         bool
-	co, ct, ce int
-	eo, zE     []float64 // z = e margins over (O,T,E) complete rows (FD tests)
-	jointT     []float64 // [(t·co+o)·ce+e] over (O,T,E) complete rows
-	to, te, tM []float64 // z = t margins over the same rows (conditional test)
-	ws3, wsq3  float64   // weight sums over (O,T,E) complete rows
-	oe         []float64 // [o·ce+e] over (O,E) complete rows
-	oM, eM     []float64
-	ws2, wsq2  float64
+	// Dense fast path: raw tallies from the fused kernel pass, nil when the
+	// joint domain left the dense bound (degenerate cards or > maxDense).
+	// The gate matches the unfused estimators' dense gate exactly, so the
+	// fallback routes precisely the candidates the unfused pipeline would
+	// have sent to the sparse (hash-map) estimator.
+	tally *counting.Screen
 
 	// Inputs, kept for the fallback path.
 	o, t, e Var
 	w       []float64
-
-	scratch *screenScratch
 }
-
-// screenScratch is one pooled backing array for all of an OnlineScreen's
-// tallies. The prune runs ScreenAll once per surviving candidate, and the
-// dominant tally (the 3-way joint) is cardinality-product sized — without
-// reuse the prune's allocation churn is GBs per query and the GC becomes a
-// top profile entry.
-type screenScratch struct{ buf []float64 }
-
-var screenPool = sync.Pool{New: func() any { return new(screenScratch) }}
 
 // ScreenAll runs the fused counting pass. The dense path applies under
 // exactly the condition the unfused estimators would use their dense path
 // (joint domain within maxDense); otherwise the methods fall back to the
 // unfused estimators, which are identical in value.
 func ScreenAll(o, t, e Var, w []float64) *OnlineScreen {
-	s := &OnlineScreen{weighted: w != nil, o: o, t: t, e: e, w: w}
-	co, ct, ce := o.Card, t.Card, e.Card
-	if co <= 0 || ct <= 0 || ce <= 0 {
-		return s // degenerate cards: unfused paths handle them
+	return &OnlineScreen{
+		weighted: w != nil, o: o, t: t, e: e, w: w,
+		tally: counting.CountScreen(o.Codes, t.Codes, e.Codes, o.Card, t.Card, e.Card, w),
 	}
-	size := ce * co
-	if size > maxDense || size*ct > maxDense {
-		return s
-	}
-	s.ok = true
-	s.co, s.ct, s.ce = co, ct, ce
-	need := ce*co + ce + ct*co*ce + ct*co + ct*ce + ct + co*ce + co + ce
-	sc := screenPool.Get().(*screenScratch)
-	if cap(sc.buf) < need {
-		sc.buf = make([]float64, need)
-	} else {
-		sc.buf = sc.buf[:need]
-		for i := range sc.buf {
-			sc.buf[i] = 0
-		}
-	}
-	s.scratch = sc
-	buf := sc.buf
-	cut := func(n int) []float64 { part := buf[:n:n]; buf = buf[n:]; return part }
-	s.eo = cut(ce * co)
-	s.zE = cut(ce)
-	s.jointT = cut(ct * co * ce)
-	s.to = cut(ct * co)
-	s.te = cut(ct * ce)
-	s.tM = cut(ct)
-	s.oe = cut(co * ce)
-	s.oM = cut(co)
-	s.eM = cut(ce)
-	eo, zE := s.eo, s.zE
-	jointT, to, te, tM := s.jointT, s.to, s.te, s.tM
-	oe, oM, eM := s.oe, s.oM, s.eM
-	var ws2, wsq2, ws3, wsq3 float64
-	for i := 0; i < len(e.Codes); i++ {
-		oc, tc, ec := o.Codes[i], t.Codes[i], e.Codes[i]
-		if oc == bins.Missing || ec == bins.Missing {
-			continue
-		}
-		oci, eci := int(oc), int(ec)
-		wt := weightAt(w, i)
-		oe[oci*ce+eci] += wt
-		oM[oci] += wt
-		eM[eci] += wt
-		ws2 += wt
-		wsq2 += wt * wt
-		if tc == bins.Missing {
-			continue
-		}
-		tci := int(tc)
-		eo[eci*co+oci] += wt
-		zE[eci] += wt
-		jointT[(tci*co+oci)*ce+eci] += wt
-		to[tci*co+oci] += wt
-		te[tci*ce+eci] += wt
-		tM[tci] += wt
-		ws3 += wt
-		wsq3 += wt * wt
-	}
-	s.ws2, s.wsq2, s.ws3, s.wsq3 = ws2, wsq2, ws3, wsq3
-	return s
 }
 
 // Release returns the tally storage to the pool. Call it once the verdicts
@@ -140,15 +62,11 @@ func ScreenAll(o, t, e Var, w []float64) *OnlineScreen {
 // fall back to the unfused estimators) but the fused tallies are gone. Not
 // calling Release is safe — the storage is then simply garbage-collected.
 func (s *OnlineScreen) Release() {
-	if s.scratch == nil {
+	if s.tally == nil {
 		return
 	}
-	s.ok = false
-	s.eo, s.zE = nil, nil
-	s.jointT, s.to, s.te, s.tM = nil, nil, nil, nil
-	s.oe, s.oM, s.eM = nil, nil, nil
-	screenPool.Put(s.scratch)
-	s.scratch = nil
+	s.tally.Release()
+	s.tally = nil
 }
 
 // FDEntropies returns the approximate-FD entropies H(O|E) and H(T|E) over
@@ -156,30 +74,31 @@ func (s *OnlineScreen) Release() {
 // Screen(o, t, e, w), without the relevance term (the prune discards it,
 // and it is the only consumer of the expensive 3-way joint).
 func (s *OnlineScreen) FDEntropies() (hOgivenE, hTgivenE float64) {
-	if !s.ok {
+	f := s.tally
+	if f == nil {
 		_, hO, hT := Screen(s.o, s.t, s.e, s.w)
 		return hO, hT
 	}
-	if s.ws3 <= 0 {
+	if f.WS3 <= 0 {
 		return 0, 0
 	}
-	total := s.ws3
-	for zi := 0; zi < s.ce; zi++ {
-		pz := s.zE[zi]
+	total := f.WS3
+	for zi := 0; zi < f.Ce; zi++ {
+		pz := f.ZE[zi]
 		if pz <= 0 {
 			continue
 		}
-		for xc := 0; xc < s.co; xc++ {
-			if pzx := s.eo[zi*s.co+xc]; pzx > 0 {
+		for xc := 0; xc < f.Co; xc++ {
+			if pzx := f.EO[zi*f.Co+xc]; pzx > 0 {
 				hOgivenE -= pzx / total * math.Log2(pzx/pz)
 			}
 		}
-		// The (E,T) cell values live in te (t-major, shared with the
+		// The (E,T) cell values live in TE (t-major, shared with the
 		// conditional test — per-cell sums are layout-independent); read
 		// them transposed, in the same (e outer, t inner) loop order as the
 		// unfused estimator's hy pass.
-		for yc := 0; yc < s.ct; yc++ {
-			if pzy := s.te[yc*s.ce+zi]; pzy > 0 {
+		for yc := 0; yc < f.Ct; yc++ {
+			if pzy := f.TE[yc*f.Ce+zi]; pzy > 0 {
 				hTgivenE -= pzy / total * math.Log2(pzy/pz)
 			}
 		}
@@ -188,36 +107,37 @@ func (s *OnlineScreen) FDEntropies() (hOgivenE, hTgivenE float64) {
 }
 
 // MarginalIndependent reports O ⊥ E at the threshold — identical to
-// CondIndependent(o, e, nil, w, threshold). This mirrors cmiDense with a
-// single stratum (empty conditioning set) over the (O,E) complete cases.
+// CondIndependent(o, e, nil, w, threshold). This mirrors cmiDenseStats with
+// a single stratum (empty conditioning set) over the (O,E) complete cases.
 func (s *OnlineScreen) MarginalIndependent(threshold float64) bool {
-	if !s.ok {
+	f := s.tally
+	if f == nil {
 		return CondIndependent(s.o, s.e, nil, s.w, threshold)
 	}
-	st := cmiStats{weightSum: s.ws2, weightSqSum: s.wsq2}
-	if s.ws2 <= 0 {
+	st := cmiStats{weightSum: f.WS2, weightSqSum: f.WSQ2}
+	if f.WS2 <= 0 {
 		return condIndependentStats(cmiStats{}, s.weighted, threshold)
 	}
-	total := s.ws2
+	total := f.WS2
 	st.nz = 1
 	mi := 0.0
-	for xc := 0; xc < s.co; xc++ {
-		px := s.oM[xc]
+	for xc := 0; xc < f.Co; xc++ {
+		px := f.OM[xc]
 		if px <= 0 {
 			continue
 		}
 		st.nx++
-		for yc := 0; yc < s.ce; yc++ {
-			pj := s.oe[xc*s.ce+yc]
+		for yc := 0; yc < f.Ce; yc++ {
+			pj := f.OE[xc*f.Ce+yc]
 			if pj <= 0 {
 				continue
 			}
-			py := s.eM[yc]
+			py := f.EM[yc]
 			mi += pj / total * math.Log2(total*pj/(px*py))
 		}
 	}
-	for yc := 0; yc < s.ce; yc++ {
-		if s.eM[yc] > 0 {
+	for yc := 0; yc < f.Ce; yc++ {
+		if f.EM[yc] > 0 {
 			st.ny++
 		}
 	}
@@ -225,13 +145,13 @@ func (s *OnlineScreen) MarginalIndependent(threshold float64) bool {
 		mi = 0
 	}
 	st.mi = mi
-	for xc := 0; xc < s.co; xc++ {
-		if px := s.oM[xc]; px > 0 {
+	for xc := 0; xc < f.Co; xc++ {
+		if px := f.OM[xc]; px > 0 {
 			st.hx -= px / total * math.Log2(px/total)
 		}
 	}
-	for yc := 0; yc < s.ce; yc++ {
-		if py := s.eM[yc]; py > 0 {
+	for yc := 0; yc < f.Ce; yc++ {
+		if py := f.EM[yc]; py > 0 {
 			st.hy -= py / total * math.Log2(py/total)
 		}
 	}
@@ -240,39 +160,40 @@ func (s *OnlineScreen) MarginalIndependent(threshold float64) bool {
 
 // CondIndependentGivenT reports O ⊥ E | T at the threshold — identical to
 // CondIndependent(o, e, []Var{t}, w, threshold). The finalize below is
-// cmiDense's, verbatim, over the z = t tallies of the fused pass; it only
-// runs when the marginal test fired, so most candidates never pay it.
+// cmiDenseStats's, verbatim, over the z = t tallies of the fused pass; it
+// only runs when the marginal test fired, so most candidates never pay it.
 func (s *OnlineScreen) CondIndependentGivenT(threshold float64) bool {
-	if !s.ok {
+	f := s.tally
+	if f == nil {
 		return CondIndependent(s.o, s.e, []Var{s.t}, s.w, threshold)
 	}
-	st := cmiStats{weightSum: s.ws3, weightSqSum: s.wsq3}
-	if s.ws3 <= 0 {
+	st := cmiStats{weightSum: f.WS3, weightSqSum: f.WSQ3}
+	if f.WS3 <= 0 {
 		return condIndependentStats(cmiStats{}, s.weighted, threshold)
 	}
-	total := s.ws3
-	xSeen := make([]bool, s.co)
-	ySeen := make([]bool, s.ce)
+	total := f.WS3
+	xSeen := make([]bool, f.Co)
+	ySeen := make([]bool, f.Ce)
 	mi := 0.0
-	for zi := 0; zi < s.ct; zi++ {
-		if s.tM[zi] <= 0 {
+	for zi := 0; zi < f.Ct; zi++ {
+		if f.TM[zi] <= 0 {
 			continue
 		}
 		st.nz++
-		for xc := 0; xc < s.co; xc++ {
-			pzx := s.to[zi*s.co+xc]
+		for xc := 0; xc < f.Co; xc++ {
+			pzx := f.TO[zi*f.Co+xc]
 			if pzx <= 0 {
 				continue
 			}
 			xSeen[xc] = true
-			for yc := 0; yc < s.ce; yc++ {
-				pj := s.jointT[(zi*s.co+xc)*s.ce+yc]
+			for yc := 0; yc < f.Ce; yc++ {
+				pj := f.JointT[(zi*f.Co+xc)*f.Ce+yc]
 				if pj <= 0 {
 					continue
 				}
 				ySeen[yc] = true
-				pzy := s.te[zi*s.ce+yc]
-				mi += pj / total * math.Log2(s.tM[zi]*pj/(pzx*pzy))
+				pzy := f.TE[zi*f.Ce+yc]
+				mi += pj / total * math.Log2(f.TM[zi]*pj/(pzx*pzy))
 			}
 		}
 	}
@@ -290,18 +211,18 @@ func (s *OnlineScreen) CondIndependentGivenT(threshold float64) bool {
 		mi = 0
 	}
 	st.mi = mi
-	for zi := 0; zi < s.ct; zi++ {
-		if s.tM[zi] <= 0 {
+	for zi := 0; zi < f.Ct; zi++ {
+		if f.TM[zi] <= 0 {
 			continue
 		}
-		for xc := 0; xc < s.co; xc++ {
-			if pzx := s.to[zi*s.co+xc]; pzx > 0 {
-				st.hx -= pzx / total * math.Log2(pzx/s.tM[zi])
+		for xc := 0; xc < f.Co; xc++ {
+			if pzx := f.TO[zi*f.Co+xc]; pzx > 0 {
+				st.hx -= pzx / total * math.Log2(pzx/f.TM[zi])
 			}
 		}
-		for yc := 0; yc < s.ce; yc++ {
-			if pzy := s.te[zi*s.ce+yc]; pzy > 0 {
-				st.hy -= pzy / total * math.Log2(pzy/s.tM[zi])
+		for yc := 0; yc < f.Ce; yc++ {
+			if pzy := f.TE[zi*f.Ce+yc]; pzy > 0 {
+				st.hy -= pzy / total * math.Log2(pzy/f.TM[zi])
 			}
 		}
 	}

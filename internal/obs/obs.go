@@ -125,6 +125,15 @@ const (
 	// retryable failures.
 	KGHTTPRequests = "kg_http_requests"
 	KGHTTPRetries  = "kg_http_retries"
+	// CountingDensePasses / CountingSparsePasses count tally passes served
+	// by the unified counting kernel's dense-array fast path versus its
+	// hash-map fallback (internal/counting). CountingIDJoins counts composite
+	// dense-ID builds over two or more variables; CountingPartitions counts
+	// row-partition passes (subgroup lattice children, table group-by).
+	CountingDensePasses  = "counting_dense_passes"
+	CountingSparsePasses = "counting_sparse_passes"
+	CountingIDJoins      = "counting_id_joins"
+	CountingPartitions   = "counting_partitions"
 )
 
 // PrunedCounter names the per-rule prune counter, e.g.

@@ -1,0 +1,80 @@
+package subgroups
+
+// Differential oracle for the counting-kernel migration of pushChildren's
+// row-partition loop: the pre-migration inline partition is kept here
+// verbatim and random (codes, rows) instances pin counting.PartitionRows to
+// identical parts and first-seen code order.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/bins"
+	"nexus/internal/counting"
+)
+
+func oraclePartition(codes []int32, gRows []int) ([]int32, map[int32][]int) {
+	parts := make(map[int32][]int)
+	var order []int32
+	for _, r := range gRows {
+		c := codes[r]
+		if c == bins.Missing {
+			continue
+		}
+		if parts[c] == nil {
+			order = append(order, c)
+		}
+		parts[c] = append(parts[c], r)
+	}
+	return order, parts
+}
+
+func TestPartitionRowsMatchesOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(200)
+		card := 1 + r.Intn(8)
+		codes := make([]int32, n)
+		for i := range codes {
+			if r.Intn(5) == 0 {
+				codes[i] = bins.Missing
+			} else {
+				codes[i] = int32(r.Intn(card))
+			}
+		}
+		// A subset of rows, in ascending order with gaps — the shape the
+		// lattice passes (a parent's row set).
+		var rows []int
+		for i := 0; i < n; i++ {
+			if r.Intn(3) != 0 {
+				rows = append(rows, i)
+			}
+		}
+		order, parts := counting.PartitionRows(codes, rows)
+		worder, wparts := oraclePartition(codes, rows)
+		if len(order) != len(worder) || len(parts) != len(wparts) {
+			return false
+		}
+		for i := range order {
+			if order[i] != worder[i] {
+				return false
+			}
+		}
+		for c, want := range wparts {
+			got := parts[c]
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

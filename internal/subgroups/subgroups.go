@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"nexus/internal/bins"
+	"nexus/internal/counting"
 	"nexus/internal/infotheory"
 	"nexus/internal/obs"
 )
@@ -209,6 +210,13 @@ func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*b
 
 	sp := opts.Trace.Start("subgroup-search")
 	defer sp.End()
+	// Publish the search's counting-kernel effort (dense/sparse passes, ID
+	// joins, partitions) as the delta of the kernel's process-wide counters
+	// over this call. The capture windows never nest: core.ExplainCtx (the
+	// only other capture site) and the subgroup search are sibling phases,
+	// so no pass is counted twice.
+	countBase := counting.Stats()
+	defer func() { counting.Stats().Delta(countBase).Each(opts.addCounter) }()
 
 	// Fold a multi-attribute explanation into one pre-joined composite
 	// (infotheory.JoinVars): every scored lattice node conditions on the same
@@ -459,19 +467,9 @@ func pushChildren(h *groupHeap, g Group, gRows []int, attrs []RefinementAttr, op
 	}
 	for ai := startAttr; ai < len(attrs); ai++ {
 		enc := attrs[ai].Enc
-		// Partition g's rows by the attribute's codes.
-		parts := make(map[int32][]int)
-		var codes []int32
-		for _, r := range gRows {
-			c := enc.Codes[r]
-			if c == bins.Missing {
-				continue
-			}
-			if parts[c] == nil {
-				codes = append(codes, c)
-			}
-			parts[c] = append(parts[c], r)
-		}
+		// Partition g's rows by the attribute's codes (unified counting
+		// kernel; first-seen order re-sorted ascending, as before).
+		codes, parts := counting.PartitionRows(enc.Codes, gRows)
 		sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
 		for _, code := range codes {
 			rows := parts[code]

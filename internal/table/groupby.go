@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+
+	"nexus/internal/counting"
 )
 
 // AggFunc identifies an aggregation function.
@@ -19,21 +22,20 @@ const (
 	AggFirst
 )
 
-// ParseAggFunc maps a SQL-ish name (case-insensitive handled by caller) to an
-// AggFunc.
+// ParseAggFunc maps a SQL-ish name to an AggFunc, case-insensitively.
 func ParseAggFunc(name string) (AggFunc, error) {
-	switch name {
-	case "avg", "mean", "AVG", "MEAN":
+	switch strings.ToLower(name) {
+	case "avg", "mean":
 		return AggMean, nil
-	case "sum", "SUM":
+	case "sum":
 		return AggSum, nil
-	case "count", "COUNT":
+	case "count":
 		return AggCount, nil
-	case "min", "MIN":
+	case "min":
 		return AggMin, nil
-	case "max", "MAX":
+	case "max":
 		return AggMax, nil
-	case "first", "FIRST":
+	case "first":
 		return AggFirst, nil
 	default:
 		return 0, fmt.Errorf("table: unknown aggregation %q", name)
@@ -171,14 +173,28 @@ func (t *Table) GroupIndices(keys []string) (map[string][]int, []string, error) 
 		}
 		cols[i] = c
 	}
-	groups := make(map[string][]int)
+	// Intern each row's composite key to a dense group id in first-appearance
+	// order, then let the unified counting kernel partition the rows. The
+	// interning keeps the string-key semantics (null sentinels, separator)
+	// byte-for-byte; the kernel only ever sees dense ids.
+	n := t.NumRows()
+	ids := make([]int32, n)
+	idOf := make(map[string]int32)
 	var order []string
-	for row, n := 0, t.NumRows(); row < n; row++ {
+	for row := 0; row < n; row++ {
 		key := compositeKey(cols, row)
-		if _, seen := groups[key]; !seen {
+		id, seen := idOf[key]
+		if !seen {
+			id = int32(len(order))
+			idOf[key] = id
 			order = append(order, key)
 		}
-		groups[key] = append(groups[key], row)
+		ids[row] = id
+	}
+	rowsets := counting.GroupRows(ids, len(order))
+	groups := make(map[string][]int, len(order))
+	for i, key := range order {
+		groups[key] = rowsets[i]
 	}
 	return groups, order, nil
 }

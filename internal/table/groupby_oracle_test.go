@@ -1,0 +1,161 @@
+package table
+
+// Differential oracle for the counting-kernel migration of GroupIndices:
+// the pre-migration implementation (string-keyed map built row by row) is
+// kept here verbatim and random tables pin the live path — composite-key
+// interning + counting.GroupRows — to identical groups and order.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func oracleGroupIndices(t *Table, keys []string) (map[string][]int, []string, error) {
+	cols := make([]*Column, len(keys))
+	for i, k := range keys {
+		c := t.Column(k)
+		if c == nil {
+			return nil, nil, fmt.Errorf("table: group-by of unknown key column %q", k)
+		}
+		cols[i] = c
+	}
+	groups := make(map[string][]int)
+	var order []string
+	for row, n := 0, t.NumRows(); row < n; row++ {
+		key := compositeKey(cols, row)
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], row)
+	}
+	return groups, order, nil
+}
+
+// randGroupTable builds a table with two string key columns (including
+// nulls, empties, and separator-colliding values) and one numeric column.
+func randGroupTable(r *rand.Rand, n int) *Table {
+	// Values deliberately include "" and strings containing the composite
+	// separators, so key collisions the string encoding must disambiguate
+	// actually occur.
+	vals := []string{"a", "b", "", "x\x1fy", "\x00null", "c"}
+	t := New()
+	for _, name := range []string{"k1", "k2"} {
+		c := NewColumn(name, String)
+		for i := 0; i < n; i++ {
+			if r.Intn(8) == 0 {
+				c.AppendNull()
+			} else {
+				c.AppendString(vals[r.Intn(len(vals))])
+			}
+		}
+		if err := t.AddColumn(c); err != nil {
+			panic(err)
+		}
+	}
+	v := NewColumn("v", Float)
+	for i := 0; i < n; i++ {
+		v.AppendFloat(r.Float64() * 10)
+	}
+	if err := t.AddColumn(v); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestGroupIndicesMatchesOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab := randGroupTable(r, r.Intn(120))
+		keys := [][]string{{"k1"}, {"k2"}, {"k1", "k2"}}[r.Intn(3)]
+		groups, order, err := tab.GroupIndices(keys)
+		wgroups, worder, werr := oracleGroupIndices(tab, keys)
+		if (err == nil) != (werr == nil) {
+			return false
+		}
+		if len(order) != len(worder) || len(groups) != len(wgroups) {
+			return false
+		}
+		for i := range order {
+			if order[i] != worder[i] {
+				return false
+			}
+		}
+		for k, rows := range wgroups {
+			got := groups[k]
+			if len(got) != len(rows) {
+				return false
+			}
+			for i := range rows {
+				if got[i] != rows[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupByMatchesOracleOrder(t *testing.T) {
+	// End to end: GroupBy's output rows must follow the oracle's
+	// first-appearance group order with identical aggregates.
+	r := rand.New(rand.NewSource(42))
+	tab := randGroupTable(r, 200)
+	out, err := tab.GroupBy([]string{"k1", "k2"}, "v", AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wgroups, worder, err := oracleGroupIndices(tab, []string{"k1", "k2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != len(worder) {
+		t.Fatalf("GroupBy rows = %d, oracle groups = %d", out.NumRows(), len(worder))
+	}
+	vc := tab.MustColumn("v")
+	agg := out.MustColumn("avg(v)")
+	for i, key := range worder {
+		var vals []float64
+		for _, row := range wgroups[key] {
+			if !vc.IsNull(row) {
+				vals = append(vals, vc.Float(row))
+			}
+		}
+		want := AggMean.Apply(vals)
+		if got := agg.Float(i); got != want {
+			t.Fatalf("group %d (%q): avg = %v, oracle %v", i, key, got, want)
+		}
+	}
+}
+
+func TestParseAggFuncMixedCase(t *testing.T) {
+	// Regression: mixed-case spellings from hand-written queries ("Avg",
+	// "Count") used to fall through to the unknown-aggregation error because
+	// only exact lower/upper spellings were matched.
+	cases := map[string]AggFunc{
+		"Avg":   AggMean,
+		"AVG":   AggMean,
+		"MeAn":  AggMean,
+		"Count": AggCount,
+		"Sum":   AggSum,
+		"MIN":   AggMin,
+		"mAx":   AggMax,
+		"First": AggFirst,
+	}
+	for name, want := range cases {
+		got, err := ParseAggFunc(name)
+		if err != nil {
+			t.Fatalf("ParseAggFunc(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("ParseAggFunc(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParseAggFunc("median"); err == nil {
+		t.Fatal("ParseAggFunc(median) should error")
+	}
+}

@@ -20,6 +20,13 @@
 //
 // A key present in one document but not the other is always an error: it
 // means the baseline predates a metric rename and must be regenerated.
+//
+// -require lists key substrings that MUST match at least one path in the
+// fresh document — the gate for metrics whose *presence* is the contract
+// (e.g. the counting_* kernel counters and counting_ns: a refactor that
+// silently drops the kernel's instrumentation would otherwise pass, since
+// both documents would lose the keys together only after a baseline
+// regeneration).
 package main
 
 import (
@@ -38,6 +45,7 @@ func main() {
 		tol       = flag.Float64("tolerance", 0.25, "allowed relative deviation for counters (either direction)")
 		wallTol   = flag.Float64("wall-tolerance", 0.25, "allowed relative increase for *_ns wall-clock metrics")
 		wallFloor = flag.Float64("wall-floor", 1e7, "ignore wall-clock metrics whose baseline is below this many ns — sub-10ms spans are scheduler noise")
+		require   = flag.String("require", "", "comma-separated key substrings that must each match at least one path in -new")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -54,6 +62,24 @@ func main() {
 	}
 
 	var failures []string
+	if *require != "" {
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			found := false
+			for k := range newM {
+				if strings.Contains(k, want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				failures = append(failures, fmt.Sprintf("required metric %q: no matching key in %s", want, *newPath))
+			}
+		}
+	}
 	keys := map[string]bool{}
 	for k := range oldM {
 		keys[k] = true

@@ -32,9 +32,17 @@ go test -run 'TestBenchObsJSON|TestBenchKGJSON|TestBenchServeJSON' -count=1 .
 status=0
 for f in BENCH_obs.json BENCH_kg.json BENCH_serve.json; do
     echo "== comparing $f (counters ±${COUNTER_TOL}, wall +${WALL_TOL}) =="
+    # BENCH_obs.json must carry the unified counting kernel's metrics: the
+    # counting_* effort counters and the counting_ns wall-clock entry. A
+    # refactor that silently drops the kernel instrumentation fails here.
+    require=""
+    if [ "$f" = BENCH_obs.json ]; then
+        require="counting_ns,counting_dense_passes,counting_partitions"
+    fi
     go run ./scripts/benchcmp \
         -old "$snap/$f" -new "$f" \
-        -tolerance "$COUNTER_TOL" -wall-tolerance "$WALL_TOL" || status=1
+        -tolerance "$COUNTER_TOL" -wall-tolerance "$WALL_TOL" \
+        -require "$require" || status=1
 done
 
 exit $status

@@ -83,7 +83,9 @@ require_section docs/ARCHITECTURE.md '## Observability invariant'
 require_section docs/ARCHITECTURE.md '### Serving metrics'
 require_section README.md '### Subgroup lattice parallelism'
 require_section docs/ARCHITECTURE.md '## Serving tier: cache + admission control'
+require_section docs/ARCHITECTURE.md '## Unified counting kernel'
 require_section README.md '### Report cache and job tiers'
+require_section README.md '### Unified counting kernel'
 require_section docs/API.md '## kgd wire protocol'
 require_section docs/API.md '## Timeouts, cancellation, shutdown'
 require_section docs/API.md '## Metrics'
