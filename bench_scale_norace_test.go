@@ -1,0 +1,5 @@
+//go:build !race
+
+package nexus_test
+
+const raceEnabled = false

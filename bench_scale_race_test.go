@@ -1,0 +1,8 @@
+//go:build race
+
+package nexus_test
+
+// raceEnabled lets the scale profile skip itself under the race detector
+// (where its wall-clock numbers are meaningless) unless NEXUS_SCALE_ROWS
+// explicitly opts in.
+const raceEnabled = true

@@ -25,10 +25,10 @@ import (
 	"time"
 
 	"nexus"
+	"nexus/internal/colstore"
 	"nexus/internal/kg"
 	"nexus/internal/kgremote"
 	"nexus/internal/obs"
-	"nexus/internal/table"
 	"nexus/internal/workload"
 )
 
@@ -110,8 +110,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		tbl, err := table.ReadCSV(f)
+		// Stream through the chunked columnar ingester so arbitrarily large
+		// CSVs load with bounded resident memory, then drain into the flat
+		// table the pipeline consumes (dictionary codes carry over unchanged).
+		st, err := colstore.FromCSV(f, colstore.Options{Counters: tr.Counters()})
 		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", *csvPath, err)
+		}
+		ingest := st.Stats()
+		tbl, err := st.Drain()
 		if err != nil {
 			return fmt.Errorf("reading %s: %w", *csvPath, err)
 		}
@@ -126,7 +134,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 		sess.RegisterTable(*tableName, tbl, linkCols...)
-		fmt.Fprintf(stdout, "loaded %s: %d rows × %d columns\n", *csvPath, tbl.NumRows(), tbl.NumCols())
+		fmt.Fprintf(stdout, "loaded %s: %d rows × %d columns (%d chunks, %d dict entries)\n",
+			*csvPath, tbl.NumRows(), tbl.NumCols(), ingest.Chunks, ingest.DictEntries)
 	case *dataset != "":
 		ds, err := workload.ByName(world, *dataset, *rows, *seed)
 		if err != nil {

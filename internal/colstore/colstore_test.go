@@ -1,0 +1,375 @@
+package colstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/counting"
+	"nexus/internal/table"
+)
+
+// genCSV builds a random CSV text whose value pool exercises every ingest
+// path: nulls, floats, non-finite spellings, bools, strings (so columns
+// demote when the mix disagrees).
+func genCSV(rng *rand.Rand, nCols, nRows int) string {
+	pool := []string{"", "1", "2.5", "-3", "0.125", "1000", "true", "false", "ORD", "SFO", "JFK", "NaN", "+Inf"}
+	var buf bytes.Buffer
+	for j := 0; j < nCols; j++ {
+		if j > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "c%d", j)
+	}
+	buf.WriteByte('\n')
+	for i := 0; i < nRows; i++ {
+		for j := 0; j < nCols; j++ {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(pool[rng.Intn(len(pool))])
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// requireEqualTables compares a drained colstore table against the
+// materializing oracle cell-for-cell, including types, null placement and
+// dictionary order.
+func requireEqualTables(t *testing.T, got, want *table.Table, ctx string) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() || got.NumCols() != want.NumCols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", ctx, got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for _, name := range want.ColumnNames() {
+		gc, wc := got.MustColumn(name), want.MustColumn(name)
+		if gc.Typ != wc.Typ {
+			t.Fatalf("%s: column %q type %v, want %v", ctx, name, gc.Typ, wc.Typ)
+		}
+		if fmt.Sprint(gc.Dict) != fmt.Sprint(wc.Dict) {
+			t.Fatalf("%s: column %q dict %v, want %v", ctx, name, gc.Dict, wc.Dict)
+		}
+		for i := 0; i < wc.Len(); i++ {
+			if gc.IsNull(i) != wc.IsNull(i) || gc.StringAt(i) != wc.StringAt(i) {
+				t.Fatalf("%s: column %q row %d: (%v,%q), want (%v,%q)",
+					ctx, name, i, gc.IsNull(i), gc.StringAt(i), wc.IsNull(i), wc.StringAt(i))
+			}
+			if wc.Typ == table.String && gc.Code(i) != wc.Code(i) {
+				t.Fatalf("%s: column %q row %d: code %d, want %d", ctx, name, i, gc.Code(i), wc.Code(i))
+			}
+		}
+	}
+}
+
+// Chunk-boundary property: for n = k·chunkRows − 1, k·chunkRows and
+// k·chunkRows + 1, ingest matches the oracle and the chunk count is
+// ceil(n/chunkRows).
+func TestQuickChunkBoundaryRowCounts(t *testing.T) {
+	const chunkRows = 16
+	f := func(k uint8, delta uint8, seed int64) bool {
+		n := (1 + int(k)%4) * chunkRows
+		n += int(delta)%3 - 1 // −1, 0, +1 around the boundary
+		in := genCSV(rand.New(rand.NewSource(seed)), 3, n)
+
+		st, err := FromCSV(strings.NewReader(in), Options{ChunkRows: chunkRows, SampleRows: 8})
+		if err != nil {
+			t.Logf("ingest: %v", err)
+			return false
+		}
+		if int(st.Stats().Rows) != n {
+			t.Logf("rows %d, want %d", st.Stats().Rows, n)
+			return false
+		}
+		wantChunks := (n + chunkRows - 1) / chunkRows
+		if int(st.Stats().Chunks) != wantChunks || st.Column("c0").NumChunks() != wantChunks {
+			t.Logf("chunks %d/%d, want %d", st.Stats().Chunks, st.Column("c0").NumChunks(), wantChunks)
+			return false
+		}
+		got, err := st.Drain()
+		if err != nil {
+			t.Logf("drain: %v", err)
+			return false
+		}
+		want, err := table.ReadCSVOracle(strings.NewReader(in))
+		if err != nil {
+			t.Logf("oracle: %v", err)
+			return false
+		}
+		requireEqualTables(t, got, want, fmt.Sprintf("n=%d seed=%d", n, seed))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Dictionary round-trip property: for every string column, every non-null
+// code indexes the global dictionary, the dictionary is duplicate-free, and
+// value→code→value is the identity.
+func TestQuickDictionaryRoundTrip(t *testing.T) {
+	f := func(seed int64, nRows uint8) bool {
+		st, err := FromCSV(strings.NewReader(genCSV(rand.New(rand.NewSource(seed)), 4, int(nRows))), Options{ChunkRows: 8, SampleRows: 4})
+		if err != nil {
+			t.Logf("ingest: %v", err)
+			return false
+		}
+		for _, c := range st.Columns() {
+			if c.Type() != table.String {
+				continue
+			}
+			dict := c.Dict()
+			inverse := make(map[string]int32, len(dict))
+			for code, v := range dict {
+				if _, dup := inverse[v]; dup {
+					t.Logf("column %q: duplicate dict entry %q", c.Name(), v)
+					return false
+				}
+				inverse[v] = int32(code)
+			}
+			for i := 0; i < c.Len(); i++ {
+				code := c.Code(i)
+				if c.IsNull(i) {
+					if code != -1 {
+						t.Logf("column %q row %d: null with code %d", c.Name(), i, code)
+						return false
+					}
+					continue
+				}
+				if code < 0 || int(code) >= len(dict) {
+					t.Logf("column %q row %d: code %d out of range", c.Name(), i, code)
+					return false
+				}
+				if inverse[dict[code]] != code {
+					t.Logf("column %q row %d: round trip %d→%q→%d", c.Name(), i, code, dict[code], inverse[dict[code]])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Null-bitmap property: null positions survive chunking — the per-chunk
+// bitmaps, the row accessors and the materialized table all agree with the
+// oracle, across chunk boundaries.
+func TestQuickNullBitmapAcrossChunks(t *testing.T) {
+	f := func(seed int64, nRows uint8) bool {
+		in := genCSV(rand.New(rand.NewSource(seed)), 3, int(nRows))
+		st, err := FromCSV(strings.NewReader(in), Options{ChunkRows: 8, SampleRows: 4})
+		if err != nil {
+			t.Logf("ingest: %v", err)
+			return false
+		}
+		want, err := table.ReadCSVOracle(strings.NewReader(in))
+		if err != nil {
+			t.Logf("oracle: %v", err)
+			return false
+		}
+		for _, c := range st.Columns() {
+			wc := want.MustColumn(c.Name())
+			row := 0
+			for k := 0; k < c.NumChunks(); k++ {
+				valid := c.ChunkValid(k)
+				for off := 0; off < valid.Len(); off++ {
+					if valid.Get(off) == wc.IsNull(row) || c.IsNull(row) != wc.IsNull(row) {
+						t.Logf("column %q chunk %d off %d (row %d): null mismatch", c.Name(), k, off, row)
+						return false
+					}
+					row++
+				}
+			}
+			if row != wc.Len() {
+				t.Logf("column %q: chunk bitmaps cover %d rows, want %d", c.Name(), row, wc.Len())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Per-chunk codes are directly consumable by the counting kernel: tallying
+// chunk by chunk with card = len(Dict) sums to the whole-column tally.
+func TestChunkCodesFeedCountingKernel(t *testing.T) {
+	in := genCSV(rand.New(rand.NewSource(7)), 2, 200)
+	st, err := FromCSV(strings.NewReader(in), Options{ChunkRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c *Column
+	for _, cand := range st.Columns() {
+		if cand.Type() == table.String {
+			c = cand
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no string column generated")
+	}
+	card := len(c.Dict())
+	total := make([]float64, card)
+	for k := 0; k < c.NumChunks(); k++ {
+		v := counting.CountVec(c.ChunkCodes(k), card, nil)
+		for i := range total {
+			total[i] += v.Counts[i]
+		}
+		v.Release()
+	}
+	flat := make([]int32, 0, c.Len())
+	for k := 0; k < c.NumChunks(); k++ {
+		flat = append(flat, c.ChunkCodes(k)...)
+	}
+	whole := counting.CountVec(flat, card, nil)
+	defer whole.Release()
+	for i := range total {
+		if total[i] != whole.Counts[i] {
+			t.Fatalf("code %d: per-chunk sum %v != whole-column %v", i, total[i], whole.Counts[i])
+		}
+	}
+}
+
+// The resident-bytes gauge grows with sealed chunks and returns to its
+// prior level once the table is drained; a drained table stays drained.
+func TestResidentBytesLifecycle(t *testing.T) {
+	before := ResidentBytes()
+	in := genCSV(rand.New(rand.NewSource(3)), 4, 500)
+	st, err := FromCSV(strings.NewReader(in), Options{ChunkRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.ChunkBytes <= 0 {
+		t.Fatalf("ChunkBytes = %d, want > 0", stats.ChunkBytes)
+	}
+	if got := ResidentBytes(); got < before+stats.ChunkBytes {
+		t.Fatalf("gauge %d does not include this table's %d bytes over baseline %d", got, stats.ChunkBytes, before)
+	}
+	if stats.SourceBytesEst <= stats.ChunkBytes {
+		t.Fatalf("source estimate %d should exceed chunk bytes %d on this input", stats.SourceBytesEst, stats.ChunkBytes)
+	}
+	if _, err := st.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ResidentBytes(); got != before {
+		t.Fatalf("gauge after drain = %d, want baseline %d", got, before)
+	}
+	if _, err := st.Drain(); err == nil {
+		t.Fatal("second drain must error")
+	}
+	if st.Stats().ChunkBytes != 0 {
+		t.Fatalf("drained ChunkBytes = %d, want 0", st.Stats().ChunkBytes)
+	}
+}
+
+// ToTable keeps the chunks resident and both materializations agree.
+func TestToTableKeepsChunks(t *testing.T) {
+	in := genCSV(rand.New(rand.NewSource(5)), 3, 100)
+	st, err := FromCSV(strings.NewReader(in), Options{ChunkRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := st.ToTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := st.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualTables(t, first, second, "ToTable vs Drain")
+}
+
+// Ingest.Append must tolerate reuse of the caller's record slice, short
+// records (missing trailing fields read as nulls), and inputs that end
+// inside the inference sample.
+func TestIngestRecordReuseAndShortRecords(t *testing.T) {
+	in, err := NewIngest([]string{"a", "b"}, Options{ChunkRows: 4, SampleRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]string, 2)
+	vals := [][2]string{{"1", "x"}, {"2", "y"}, {"3", "x"}}
+	for _, v := range vals {
+		rec[0], rec[1] = v[0], v[1]
+		if err := in.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Append([]string{"4"}); err != nil { // short record: b null
+		t.Fatal(err)
+	}
+	st, err := in.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := st.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tbl.MustColumn("a"), tbl.MustColumn("b")
+	if a.Typ != table.Float || b.Typ != table.String {
+		t.Fatalf("types %v/%v, want Float/String", a.Typ, b.Typ)
+	}
+	if got := fmt.Sprint(a.Floats()); got != "[1 2 3 4]" {
+		t.Fatalf("a = %s", got)
+	}
+	if got := fmt.Sprint(b.Strings()); got != "[x y x ]" {
+		t.Fatalf("b = %q", b.Strings())
+	}
+	if !b.IsNull(3) {
+		t.Fatal("short record should leave b[3] null")
+	}
+}
+
+// A column that demotes to String after the inference sample keeps raw
+// spellings for sampled rows and non-finite spellings from the sidecar.
+func TestDemotionBackfillSpellings(t *testing.T) {
+	in := "x\n1.50\nNaN\n2\n3\n4\nabc\n"
+	st, err := FromCSV(strings.NewReader(in), Options{ChunkRows: 2, SampleRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := st.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tbl.MustColumn("x")
+	if x.Typ != table.String {
+		t.Fatalf("type %v, want String", x.Typ)
+	}
+	want := []string{"1.50", "NaN", "2", "3", "4", "abc"}
+	if got := fmt.Sprint(x.Strings()); got != fmt.Sprint(want) {
+		t.Fatalf("values %q, want %q", x.Strings(), want)
+	}
+}
+
+// Streaming ingest matches table.ReadCSV (not just the oracle) on
+// canonical-spelling inputs regardless of chunk and sample geometry.
+func TestFromCSVMatchesStreamingReadCSV(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 20; iter++ {
+		in := genCSV(rng, 4, 50+rng.Intn(100))
+		st, err := FromCSV(strings.NewReader(in), Options{ChunkRows: 16, SampleRows: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := table.ReadCSVSampled(strings.NewReader(in), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualTables(t, got, want, fmt.Sprintf("iter %d", iter))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Type identifies the storage type of a column.
@@ -93,6 +94,65 @@ func NewStringColumn(name string, vals []string) *Column {
 	return c
 }
 
+// NewFloatColumnWithValid adopts vals and valid as Float-column storage
+// without copying. Rows whose valid bit is clear are null; their value slots
+// are normalized to NaN so adopted columns are indistinguishable from
+// append-built ones. The caller must not retain vals or valid.
+func NewFloatColumnWithValid(name string, vals []float64, valid *Bitmap) (*Column, error) {
+	if valid == nil || valid.Len() != len(vals) {
+		return nil, fmt.Errorf("table: column %q: validity bitmap does not cover %d values", name, len(vals))
+	}
+	for i := range vals {
+		if !valid.Get(i) {
+			vals[i] = math.NaN()
+		}
+	}
+	return &Column{Name: name, Typ: Float, Valid: valid, floats: vals}, nil
+}
+
+// NewBoolColumnWithValid adopts vals and valid as Bool-column storage
+// without copying, normalizing null slots to false. The caller must not
+// retain vals or valid.
+func NewBoolColumnWithValid(name string, vals []bool, valid *Bitmap) (*Column, error) {
+	if valid == nil || valid.Len() != len(vals) {
+		return nil, fmt.Errorf("table: column %q: validity bitmap does not cover %d values", name, len(vals))
+	}
+	for i := range vals {
+		if !valid.Get(i) {
+			vals[i] = false
+		}
+	}
+	return &Column{Name: name, Typ: Bool, Valid: valid, bools: vals}, nil
+}
+
+// NewStringColumnFromCodes adopts pre-encoded dictionary storage as a String
+// column without re-hashing any value: codes index dict, null rows carry
+// code -1 (normalized from whatever the caller left there). The dictionary
+// must be duplicate-free and every valid row's code in range. The caller
+// must not retain codes, dict or valid.
+func NewStringColumnFromCodes(name string, codes []int32, dict []string, valid *Bitmap) (*Column, error) {
+	if valid == nil || valid.Len() != len(codes) {
+		return nil, fmt.Errorf("table: column %q: validity bitmap does not cover %d codes", name, len(codes))
+	}
+	idx := make(map[string]int32, len(dict))
+	for i, s := range dict {
+		if _, dup := idx[s]; dup {
+			return nil, fmt.Errorf("table: column %q: duplicate dictionary entry %q", name, s)
+		}
+		idx[s] = int32(i)
+	}
+	for i, code := range codes {
+		if !valid.Get(i) {
+			codes[i] = -1
+			continue
+		}
+		if code < 0 || int(code) >= len(dict) {
+			return nil, fmt.Errorf("table: column %q: row %d code %d outside dictionary of %d entries", name, i, code, len(dict))
+		}
+	}
+	return &Column{Name: name, Typ: String, Valid: valid, codes: codes, Dict: dict, dictIdx: idx}, nil
+}
+
 // NewBoolColumn builds a Bool column with no nulls.
 func NewBoolColumn(name string, vals []bool) *Column {
 	c := NewColumn(name, Bool)
@@ -151,6 +211,17 @@ func (c *Column) AppendString(v string) {
 		c.dictIdx[v] = code
 	}
 	c.codes = append(c.codes, code)
+}
+
+// appendStringCloned is AppendString for values that may alias a transient
+// input buffer (a csv.Reader record line): the value is copied only when it
+// introduces a new dictionary entry, so retained dictionary strings never
+// pin their source records.
+func (c *Column) appendStringCloned(v string) {
+	if _, ok := c.dictIdx[v]; !ok {
+		v = strings.Clone(v)
+	}
+	c.AppendString(v)
 }
 
 // AppendBool appends a bool value; panics if the column is not Bool.

@@ -1,0 +1,209 @@
+package table
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// tablesEqual compares two tables cell-for-cell including column types,
+// null placement and dictionary order (the byte-identity contract between
+// the streaming reader and the materializing oracle).
+func tablesEqual(t *testing.T, got, want *Table) {
+	t.Helper()
+	if got.NumCols() != want.NumCols() || got.NumRows() != want.NumRows() {
+		t.Fatalf("shape mismatch: got %dx%d, want %dx%d", got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for j, name := range want.ColumnNames() {
+		gc, wc := got.MustColumn(name), want.MustColumn(name)
+		if gc.Typ != wc.Typ {
+			t.Fatalf("column %d %q: type %v, want %v", j, name, gc.Typ, wc.Typ)
+		}
+		if fmt.Sprint(gc.Dict) != fmt.Sprint(wc.Dict) {
+			t.Fatalf("column %q: dict %v, want %v", name, gc.Dict, wc.Dict)
+		}
+		for i := 0; i < wc.Len(); i++ {
+			if gc.IsNull(i) != wc.IsNull(i) {
+				t.Fatalf("column %q row %d: null=%v, want %v", name, i, gc.IsNull(i), wc.IsNull(i))
+			}
+			if gc.StringAt(i) != wc.StringAt(i) {
+				t.Fatalf("column %q row %d: %q, want %q", name, i, gc.StringAt(i), wc.StringAt(i))
+			}
+		}
+	}
+}
+
+// Non-finite numeric fields parse as floats but poison the entropy/CMI
+// estimators; both CSV paths must store them as nulls.
+func TestReadCSVNonFiniteAsNull(t *testing.T) {
+	in := "x,y\nNaN,1\nInf,2\n+Inf,3\n-inf,4\n5,NaN\n"
+	for _, tc := range []struct {
+		name string
+		read func(r *strings.Reader) (*Table, error)
+	}{
+		{"streaming", func(r *strings.Reader) (*Table, error) { return ReadCSV(r) }},
+		{"oracle", func(r *strings.Reader) (*Table, error) { return ReadCSVOracle(r) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl, err := tc.read(strings.NewReader(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, y := tbl.MustColumn("x"), tbl.MustColumn("y")
+			if x.Typ != Float || y.Typ != Float {
+				t.Fatalf("types: x=%v y=%v, want Float/Float", x.Typ, y.Typ)
+			}
+			if got := x.NullCount(); got != 4 {
+				t.Fatalf("x null count = %d, want 4 (NaN, Inf, +Inf, -inf)", got)
+			}
+			if got := y.NullCount(); got != 1 {
+				t.Fatalf("y null count = %d, want 1", got)
+			}
+			if v := x.Float(4); v != 5 {
+				t.Fatalf("x[4] = %v, want 5", v)
+			}
+		})
+	}
+}
+
+// A column mixing a non-finite spelling with strings must demote to String
+// and keep the original spelling, not the canonicalized null.
+func TestReadCSVNonFiniteSpellingSurvivesDemotion(t *testing.T) {
+	// Sample of 2 sees only numerics (incl. NaN stored as null); the "abc"
+	// row arrives after the sample and forces demotion to String.
+	in := "x\n1.50\nNaN\n2\nabc\n"
+	tbl, err := ReadCSVSampled(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tbl.MustColumn("x")
+	if x.Typ != String {
+		t.Fatalf("type = %v, want String", x.Typ)
+	}
+	got := x.Strings()
+	// Row 0 is inside the retained sample, so its original "1.50" spelling
+	// survives; row 2 is past the sample and re-renders canonically.
+	want := []string{"1.50", "NaN", "2", "abc"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("values = %q, want %q", got, want)
+	}
+}
+
+// A column whose sampled prefix is all-empty stays undecided until the first
+// value arrives, so late numerics still yield a Float column (as the oracle
+// does with its full scan).
+func TestReadCSVLateTypeDecision(t *testing.T) {
+	in := "x,y\n,\n,\n3,x\n4,\n"
+	tbl, err := ReadCSVSampled(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := ReadCSVOracle(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, tbl, oracle)
+	if typ := tbl.MustColumn("x").Typ; typ != Float {
+		t.Fatalf("x type = %v, want Float", typ)
+	}
+}
+
+// Differential property: on CSVs whose numeric spellings are canonical (the
+// WriteCSV form), the streaming reader matches the oracle byte-for-byte for
+// every sample size, including samples smaller than the input.
+func TestReadCSVStreamingMatchesOracle(t *testing.T) {
+	pool := []string{"", "1", "2.5", "-3", "true", "false", "x", "yy", "NaN", "+Inf", "1000", "0.125"}
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 60; iter++ {
+		nCols := 1 + rng.Intn(4)
+		nRows := rng.Intn(40)
+		var buf bytes.Buffer
+		for j := 0; j < nCols; j++ {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, "c%d", j)
+		}
+		buf.WriteByte('\n')
+		for i := 0; i < nRows; i++ {
+			for j := 0; j < nCols; j++ {
+				if j > 0 {
+					buf.WriteByte(',')
+				}
+				buf.WriteString(pool[rng.Intn(len(pool))])
+			}
+			buf.WriteByte('\n')
+		}
+		in := buf.String()
+		oracle, err := ReadCSVOracle(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sample := range []int{1, 3, 7, nRows + 1} {
+			got, err := ReadCSVSampled(strings.NewReader(in), sample)
+			if err != nil {
+				t.Fatalf("iter %d sample %d: %v", iter, sample, err)
+			}
+			tablesEqual(t, got, oracle)
+		}
+	}
+}
+
+func TestAdoptingColumnConstructors(t *testing.T) {
+	valid := NewBitmap(0)
+	for _, v := range []bool{true, false, true} {
+		valid.Append(v)
+	}
+	fc, err := NewFloatColumnWithValid("f", []float64{1, 99, 3}, valid.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewFloatColumn("f", nil)
+	ref.AppendFloat(1)
+	ref.AppendNull()
+	ref.AppendFloat(3)
+	for i := 0; i < 3; i++ {
+		if fc.IsNull(i) != ref.IsNull(i) || fc.StringAt(i) != ref.StringAt(i) {
+			t.Fatalf("float row %d: (%v,%q) want (%v,%q)", i, fc.IsNull(i), fc.StringAt(i), ref.IsNull(i), ref.StringAt(i))
+		}
+	}
+
+	sc, err := NewStringColumnFromCodes("s", []int32{1, 7, 0}, []string{"a", "b"}, valid.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(sc.Strings()); got != fmt.Sprint([]string{"b", "", "a"}) {
+		t.Fatalf("string values = %s", got)
+	}
+	if sc.Code(1) != -1 {
+		t.Fatalf("null code = %d, want -1 (normalized)", sc.Code(1))
+	}
+	// Appending to an adopted column must keep interning against its dict.
+	sc.AppendString("b")
+	if sc.Code(3) != 1 {
+		t.Fatalf("appended code = %d, want 1", sc.Code(3))
+	}
+
+	if _, err := NewStringColumnFromCodes("s", []int32{2, 0, 0}, []string{"a", "b"}, valid.Clone()); err == nil {
+		t.Fatal("out-of-range code on a valid row must error")
+	}
+	if _, err := NewStringColumnFromCodes("s", []int32{0, 0, 0}, []string{"a", "a"}, valid.Clone()); err == nil {
+		t.Fatal("duplicate dictionary entries must error")
+	}
+	if _, err := NewFloatColumnWithValid("f", []float64{1}, valid.Clone()); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+
+	bc, err := NewBoolColumnWithValid("b", []bool{true, true, false}, valid.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bc.IsNull(1) {
+		t.Fatal("row 1 should be null")
+	}
+	if v, ok := bc.BoolAt(0); !ok || !v {
+		t.Fatal("row 0 should be true")
+	}
+}

@@ -12,29 +12,13 @@ import (
 // departure delay driven by the origin city's weather severity and traffic
 // (climate and size latents), the airline's operational quality, and a
 // security component from the city's security index.
+//
+// The row stream comes from newFlightsGen; FlightsCSV streams the same rows
+// (same seed, same RNG draw order, hence identical values) as CSV text
+// without materializing the table, which is how paper-scale row counts
+// reach the columnar ingester.
 func Flights(w *kg.World, cfg Config) *Dataset {
-	n := cfg.Rows
-	if n == 0 {
-		n = 5819079
-	}
-	rng := stats.NewRNG(cfg.Seed ^ 0xF1)
-
-	nc := len(w.Cities)
-	na := len(w.Airlines)
-
-	// City sampling ∝ population; airline choice per city via an affinity
-	// matrix so that Airline is genuinely confounded with Origin city.
-	cityW := make([]float64, nc)
-	for i, c := range w.Cities {
-		cityW[i] = math.Exp((c.Size - 11) / 2)
-	}
-	affinity := make([][]float64, nc)
-	for i := range affinity {
-		affinity[i] = make([]float64, na)
-		for j := range affinity[i] {
-			affinity[i][j] = math.Exp(0.9 * rng.Norm())
-		}
-	}
+	g, n := newFlightsGen(w, cfg)
 
 	origin := make([]string, n)
 	originState := make([]string, n)
@@ -50,37 +34,19 @@ func Flights(w *kg.World, cfg Config) *Dataset {
 	cancelled := make([]string, n)
 
 	for i := 0; i < n; i++ {
-		oi := rng.Choice(cityW)
-		di := rng.Choice(cityW)
-		ai := rng.Choice(affinity[oi])
-		oc := &w.Cities[oi]
-		dc := &w.Cities[di]
-		al := &w.Airlines[ai]
-
-		origin[i] = oc.Name
-		originState[i] = oc.State
-		dest[i] = dc.Name
-		destState[i] = dc.State
-		airline[i] = al.Name
-		month[i] = float64(1 + rng.Intn(12))
-		day[i] = float64(1 + rng.Intn(28))
-		distance[i] = math.Round(200 + 2200*rng.Float64())
-
-		winter := 0.0
-		if month[i] <= 2 || month[i] == 12 {
-			winter = 1
-		}
-		sec := math.Max(0, 2+1.5*oc.SecurityIdx+rng.Norm())
-		secDelay[i] = math.Round(sec)
-		delay := 9 + 5.5*oc.Climate + 2.2*winter*oc.Climate + 1.6*(oc.Size-11)/1.6 -
-			3.8*al.Quality + sec + 7*rng.Norm()
-		depDelay[i] = math.Round(delay)
-		arrDelay[i] = math.Round(delay + 2 + 3*rng.Norm())
-		if rng.Float64() < 0.015 {
-			cancelled[i] = "yes"
-		} else {
-			cancelled[i] = "no"
-		}
+		r := g.next()
+		origin[i] = r.origin
+		originState[i] = r.originState
+		dest[i] = r.dest
+		destState[i] = r.destState
+		airline[i] = r.airline
+		month[i] = r.month
+		day[i] = r.day
+		distance[i] = r.distance
+		depDelay[i] = r.depDelay
+		arrDelay[i] = r.arrDelay
+		secDelay[i] = r.secDelay
+		cancelled[i] = r.cancelled
 	}
 
 	tbl := table.MustFromColumns(
@@ -100,11 +66,11 @@ func Flights(w *kg.World, cfg Config) *Dataset {
 	return &Dataset{
 		Name:        "Flights",
 		Table:       tbl,
-		LinkColumns: []string{"Airline", "Origin_city", "Dest_city", "Origin_state", "Dest_state"},
+		LinkColumns: append([]string(nil), FlightsLinkColumns...),
 		Outcomes:    []string{"Departure_delay", "Arrival_delay", "Security_delay"},
 		// Departure and arrival delay are two measurements of the same
 		// event; neither is a confounder of the other.
-		ExcludeCandidates: []string{"Departure_delay", "Arrival_delay"},
+		ExcludeCandidates: append([]string(nil), FlightsExcludeCandidates...),
 		World:             w,
 	}
 }

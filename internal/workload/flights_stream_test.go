@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nexus/internal/table"
+)
+
+// The streaming CSV generator must be byte-identical to materializing the
+// Flights table and serializing it: same RNG draw order, same canonical
+// float formatting.
+func TestFlightsCSVMatchesTable(t *testing.T) {
+	w := sharedWorld()
+	cfg := Config{Rows: 1500, Seed: 12}
+
+	ds := Flights(w, cfg)
+	var want bytes.Buffer
+	if err := ds.Table.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	if err := FlightsCSV(w, cfg, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		gl := strings.Split(got.String(), "\n")
+		wl := strings.Split(want.String(), "\n")
+		for i := range wl {
+			if i >= len(gl) || gl[i] != wl[i] {
+				t.Fatalf("first divergence at line %d:\n got %q\nwant %q", i, gl[i], wl[i])
+			}
+		}
+		t.Fatal("outputs differ in length")
+	}
+
+	// And reading the stream back must reproduce the generated table
+	// exactly (types, dictionaries, values).
+	rt, err := table.ReadCSV(bytes.NewReader(got.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ds.Table.ColumnNames() {
+		rc, oc := rt.MustColumn(name), ds.Table.MustColumn(name)
+		if rc.Typ != oc.Typ {
+			t.Fatalf("column %q: round-trip type %v, want %v", name, rc.Typ, oc.Typ)
+		}
+		for i := 0; i < oc.Len(); i++ {
+			if rc.StringAt(i) != oc.StringAt(i) {
+				t.Fatalf("column %q row %d: %q, want %q", name, i, rc.StringAt(i), oc.StringAt(i))
+			}
+		}
+	}
+}

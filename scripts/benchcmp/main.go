@@ -1,6 +1,7 @@
 // Command benchcmp compares two bench-profile JSON documents (BENCH_obs.json
-// / BENCH_kg.json) and exits non-zero when the fresh run regresses against
-// the committed baseline. scripts/check_bench.sh drives it in CI.
+// / BENCH_kg.json / BENCH_serve.json / BENCH_scale.json) and exits non-zero
+// when the fresh run regresses against the committed baseline.
+// scripts/check_bench.sh drives it in CI.
 //
 // The comparison walks both documents and collects every numeric leaf under
 // its dotted path. Two metric classes get different treatment:

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI bench-regression gate: re-generate the bench profiles (BENCH_obs.json,
-# BENCH_kg.json, BENCH_serve.json) on this machine and compare them against
+# BENCH_kg.json, BENCH_serve.json, BENCH_scale.json) on this machine and
+# compare them against
 # the committed baselines with scripts/benchcmp. Deterministic counters must
 # stay within
 # 25% (they should match exactly — a drift means the baseline was not
@@ -20,17 +21,17 @@ COUNTER_TOL="${BENCH_COUNTER_TOLERANCE:-0.25}"
 
 snap=$(mktemp -d)
 restore() {
-    cp "$snap"/BENCH_obs.json "$snap"/BENCH_kg.json "$snap"/BENCH_serve.json . 2>/dev/null || true
+    cp "$snap"/BENCH_obs.json "$snap"/BENCH_kg.json "$snap"/BENCH_serve.json "$snap"/BENCH_scale.json . 2>/dev/null || true
     rm -rf "$snap"
 }
 trap restore EXIT
-cp BENCH_obs.json BENCH_kg.json BENCH_serve.json "$snap"/
+cp BENCH_obs.json BENCH_kg.json BENCH_serve.json BENCH_scale.json "$snap"/
 
 echo "== regenerating bench profiles =="
-go test -run 'TestBenchObsJSON|TestBenchKGJSON|TestBenchServeJSON' -count=1 .
+go test -run 'TestBenchObsJSON|TestBenchKGJSON|TestBenchServeJSON|TestBenchScaleJSON' -count=1 .
 
 status=0
-for f in BENCH_obs.json BENCH_kg.json BENCH_serve.json; do
+for f in BENCH_obs.json BENCH_kg.json BENCH_serve.json BENCH_scale.json; do
     echo "== comparing $f (counters ±${COUNTER_TOL}, wall +${WALL_TOL}) =="
     # BENCH_obs.json must carry the unified counting kernel's metrics: the
     # counting_* effort counters and the counting_ns wall-clock entry. A
@@ -38,6 +39,11 @@ for f in BENCH_obs.json BENCH_kg.json BENCH_serve.json; do
     require=""
     if [ "$f" = BENCH_obs.json ]; then
         require="counting_ns,counting_dense_passes,counting_partitions"
+    fi
+    # BENCH_scale.json must carry the data-engine profile: ingest/explain
+    # wall-clock, chunk geometry and the resident-chunk-bytes memory proxy.
+    if [ "$f" = BENCH_scale.json ]; then
+        require="ingest_ns,explain_ns,ingest_chunks,dict_entries,chunk_bytes"
     fi
     go run ./scripts/benchcmp \
         -old "$snap/$f" -new "$f" \

@@ -97,6 +97,9 @@ require_section docs/OPERATIONS.md '## Failure modes and the metrics that diagno
 require_section docs/OPERATIONS.md '### Invalidating the report cache'
 require_section docs/BENCHMARKS.md '## The two metric classes'
 require_section docs/BENCHMARKS.md '## Running the gate and regenerating baselines'
+require_section docs/ARCHITECTURE.md '## Columnar data engine'
+require_section docs/BENCHMARKS.md '### BENCH_scale.json'
+require_section README.md '### Paper-scale quickstart'
 
 if [ "$fail" -ne 0 ]; then
     exit 1
