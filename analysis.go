@@ -482,6 +482,12 @@ func (a *Analysis) ExplainCtx(ctx context.Context) (*Report, error) {
 	if opts.Trace == nil {
 		opts.Trace = a.session.traceFor(ctx)
 	}
+	if opts.Scorer != nil && opts.ScoreTag == "" {
+		// Qualify the fingerprints shipped to scoring workers with the same
+		// dataset/KG identity the report cache keys on, so two sessions with
+		// coincidentally equal encodings cannot alias on a shared fleet.
+		opts.ScoreTag = a.session.DatasetFingerprint() + "|" + a.session.KGVersion()
+	}
 	ex, err := core.ExplainCtx(ctx, a.T, a.O, a.Candidates, opts)
 	if err != nil {
 		return nil, err
@@ -593,6 +599,12 @@ func (r *Report) SubgroupsWithOptions(ctx context.Context, opts subgroups.Option
 	}
 	if opts.Counters == nil {
 		opts.Counters = sess.opts.Metrics
+	}
+	if opts.Scorer == nil {
+		opts.Scorer = sess.opts.Core.Scorer
+	}
+	if opts.Scorer != nil && opts.ScoreTag == "" {
+		opts.ScoreTag = sess.DatasetFingerprint() + "|" + sess.KGVersion()
 	}
 	encs, err := r.explanationEncodings()
 	if err != nil {

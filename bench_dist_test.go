@@ -1,0 +1,119 @@
+package nexus_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"nexus"
+	"nexus/internal/distremote"
+	"nexus/internal/distworker"
+	"nexus/internal/obs"
+)
+
+// benchDistFleet is one fleet configuration's record in BENCH_dist.json.
+// dist_wall_ns is explain + subgroup-search wall clock; the dist_* counters
+// are the coordinator's dispatch effort (deterministic at Parallelism 1
+// with hedging off, so the bench gate can hold them to the counter
+// tolerance).
+type benchDistFleet struct {
+	WallNS       int64 `json:"dist_wall_ns"`
+	Units        int64 `json:"dist_units,omitempty"`
+	HTTPRequests int64 `json:"dist_http_requests,omitempty"`
+	Retries      int64 `json:"dist_retries,omitempty"`
+	Fallbacks    int64 `json:"dist_fallbacks,omitempty"`
+}
+
+// benchDistEntry is the whole BENCH_dist.json document.
+type benchDistEntry struct {
+	Query    string         `json:"query"`
+	Rows     int            `json:"rows"`
+	Local    benchDistFleet `json:"local"`
+	Workers1 benchDistFleet `json:"workers_1"`
+	Workers2 benchDistFleet `json:"workers_2"`
+	Workers4 benchDistFleet `json:"workers_4"`
+}
+
+// TestBenchDistJSON profiles the flights explanation (MCIMR + permutation
+// tests + subgroup search) against the distributed scoring fleet at 1, 2
+// and 4 workers versus in-process scoring, and writes the comparison to
+// BENCH_dist.json. Parallelism is pinned to 1 and hedging is off so the
+// unit counters are machine-independent; wall clock is the only
+// machine-dependent field. The hard assertions are byte-identity across
+// every configuration and that units actually flowed over the wire.
+func TestBenchDistJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping profile emission in -short mode")
+	}
+	w := integrationWorld()
+
+	run := func(workers int) (benchDistFleet, string, int) {
+		ctr := obs.NewCounters()
+		opts := &nexus.Options{Metrics: ctr}
+		opts.Core.Parallelism = 1
+		if workers > 0 {
+			urls, _ := startWorkerFleet(t, workers, distworker.Config{})
+			opts.Core.Scorer = distremote.New(urls, distremote.Options{
+				ChunkSize:   8,
+				Parallelism: 1,
+				HedgeAfter:  0, // deterministic effort counters
+				Counters:    ctr,
+			})
+		}
+		sess := flightsSession(w, w.Graph, opts)
+		start := time.Now()
+		rep, err := sess.Explain(flightsQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := rep.Subgroups(3, 0.05); err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(start)
+		return benchDistFleet{
+			WallNS:       wall.Nanoseconds(),
+			Units:        ctr.Get(obs.DistUnits),
+			HTTPRequests: ctr.Get(obs.DistHTTPRequests),
+			Retries:      ctr.Get(obs.DistRetries),
+			Fallbacks:    ctr.Get(obs.DistFallbacks),
+		}, stableSummary(rep), rep.Analysis.View.NumRows()
+	}
+
+	entry := benchDistEntry{Query: flightsQuery}
+	var want string
+	entry.Local, want, entry.Rows = run(0)
+	fleets := []struct {
+		workers int
+		out     *benchDistFleet
+	}{{1, &entry.Workers1}, {2, &entry.Workers2}, {4, &entry.Workers4}}
+	for _, f := range fleets {
+		fleet, got, _ := run(f.workers)
+		*f.out = fleet
+		if got != want {
+			t.Errorf("%d workers: explanation differs from local:\n--- fleet ---\n%s\n--- local ---\n%s", f.workers, got, want)
+		}
+		if fleet.Units == 0 {
+			t.Errorf("%d workers: dist_units = 0; the bench measured nothing", f.workers)
+		}
+		if fleet.Fallbacks != 0 {
+			t.Errorf("%d workers: dist_fallbacks = %d on a healthy fleet", f.workers, fleet.Fallbacks)
+		}
+	}
+	if entry.Workers1.Units != entry.Workers4.Units {
+		t.Errorf("unit count varies with fleet size: %d at 1 worker, %d at 4 — partitioning is not deterministic",
+			entry.Workers1.Units, entry.Workers4.Units)
+	}
+
+	buf, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_dist.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wall: local %v, 1w %v, 2w %v, 4w %v; units %d, http %d",
+		time.Duration(entry.Local.WallNS), time.Duration(entry.Workers1.WallNS),
+		time.Duration(entry.Workers2.WallNS), time.Duration(entry.Workers4.WallNS),
+		entry.Workers1.Units, entry.Workers1.HTTPRequests)
+}

@@ -26,6 +26,7 @@ import (
 
 	"nexus"
 	"nexus/internal/colstore"
+	"nexus/internal/distremote"
 	"nexus/internal/kg"
 	"nexus/internal/kgremote"
 	"nexus/internal/obs"
@@ -58,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sql       = fs.String("sql", "", "aggregate query to explain (required)")
 		seed      = fs.Uint64("seed", 11, "world seed")
 		kgURL     = fs.String("kg", "", "remote knowledge-graph server URL (cmd/kgd), e.g. http://localhost:7070; default in-process graph")
+		distW     = fs.String("dist-workers", "", "comma-separated scoring-worker URLs (cmd/nexusw); default in-process scoring")
 		hops      = fs.Int("hops", 1, "KG extraction depth")
 		subgroups = fs.Int("subgroups", 0, "also report the top-k unexplained subgroups")
 		par       = fs.Int("parallelism", 0, "worker goroutines for MCIMR and the subgroup lattice search (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
@@ -101,6 +103,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	opts := nexus.Options{Hops: *hops, DisableIPW: *noIPW, Trace: tr}
 	opts.Core.Parallelism = *par
+	if *distW != "" {
+		fleet := strings.Split(*distW, ",")
+		for i := range fleet {
+			fleet[i] = strings.TrimSpace(fleet[i])
+		}
+		fmt.Fprintf(stdout, "distributed scoring across %d worker(s)\n", len(fleet))
+		opts.Core.Scorer = distremote.New(fleet, distremote.Options{Parallelism: *par, Counters: tr.Counters()})
+	}
 	sess := nexus.NewSessionFromSource(src, &opts)
 
 	lsp := tr.Start("load-dataset")

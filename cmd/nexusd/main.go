@@ -43,6 +43,7 @@ import (
 
 	"nexus"
 	"nexus/internal/colstore"
+	"nexus/internal/distremote"
 	"nexus/internal/httpdebug"
 	"nexus/internal/kg"
 	"nexus/internal/kgremote"
@@ -75,6 +76,8 @@ func run(args []string) error {
 		links        = fs.String("links", "", "comma-separated link columns for -csv")
 		seed         = fs.Uint64("seed", 11, "world seed")
 		kgURL        = fs.String("kg", "", "remote knowledge-graph server URL (cmd/kgd), e.g. http://localhost:7070; default in-process graph")
+		distWorkers  = fs.String("dist-workers", "", "comma-separated scoring-worker URLs (cmd/nexusw), e.g. http://localhost:7080,http://localhost:7081; default in-process scoring")
+		hedgeAfter   = fs.Duration("dist-hedge-after", 0, "duplicate a straggling work unit to a second worker after this delay (0 = no hedging; needs ≥ 2 -dist-workers)")
 		hops         = fs.Int("hops", 1, "KG extraction depth")
 		noIPW        = fs.Bool("no-ipw", false, "disable selection-bias detection and IPW")
 		par          = fs.Int("parallelism", 0, "worker goroutines per explanation for MCIMR and the subgroup lattice search (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
@@ -129,6 +132,18 @@ func run(args []string) error {
 		ExtractCache: nexus.NewExtractionCache(metrics),
 	}
 	sessOpts.Core.Parallelism = *par
+	if *distWorkers != "" {
+		fleet := strings.Split(*distWorkers, ",")
+		for i := range fleet {
+			fleet[i] = strings.TrimSpace(fleet[i])
+		}
+		log.Printf("distributed scoring across %d worker(s): %s", len(fleet), strings.Join(fleet, ", "))
+		sessOpts.Core.Scorer = distremote.New(fleet, distremote.Options{
+			HedgeAfter:  *hedgeAfter,
+			Parallelism: *par,
+			Counters:    metrics,
+		})
+	}
 	sess := nexus.NewSessionFromSource(src, &sessOpts)
 
 	switch {

@@ -1,0 +1,164 @@
+package nexus_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nexus"
+	"nexus/internal/distremote"
+	"nexus/internal/distworker"
+	"nexus/internal/obs"
+)
+
+// startWorkerFleet spins up n in-process scoring workers and returns their
+// URLs and servers.
+func startWorkerFleet(tb testing.TB, n int, cfg distworker.Config) ([]string, []*distworker.Server) {
+	tb.Helper()
+	urls := make([]string, n)
+	srvs := make([]*distworker.Server, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		srvs[i] = distworker.New(c)
+		hs := httptest.NewServer(srvs[i].Handler())
+		tb.Cleanup(hs.Close)
+		urls[i] = hs.URL
+	}
+	return urls, srvs
+}
+
+// TestDistributedFlightsIdentical is the acceptance test for the scoring
+// fleet: the flights explanation and its subgroups must be byte-identical
+// whether scored in-process, on one worker, or sharded across four.
+func TestDistributedFlightsIdentical(t *testing.T) {
+	w := integrationWorld()
+
+	local := flightsSession(w, w.Graph, nil)
+	wantRep, err := local.Explain(flightsQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGroups, _, err := wantRep.Subgroups(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stableSummary(wantRep)
+
+	for _, workers := range []int{1, 4} {
+		urls, srvs := startWorkerFleet(t, workers, distworker.Config{})
+		ctr := obs.NewCounters()
+		opts := &nexus.Options{Metrics: ctr}
+		opts.Core.Scorer = distremote.New(urls, distremote.Options{
+			ChunkSize: 4, Counters: ctr,
+		})
+		sess := flightsSession(w, w.Graph, opts)
+		gotRep, err := sess.Explain(flightsQuery)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if got := stableSummary(gotRep); got != want {
+			t.Errorf("%d workers: explanation differs:\n--- distributed ---\n%s\n--- local ---\n%s", workers, got, want)
+		}
+		gotGroups, _, err := gotRep.Subgroups(3, 0.05)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if len(gotGroups) != len(wantGroups) {
+			t.Fatalf("%d workers: %d subgroups vs %d local", workers, len(gotGroups), len(wantGroups))
+		}
+		for i := range wantGroups {
+			if gotGroups[i].String() != wantGroups[i].String() || gotGroups[i].Size != wantGroups[i].Size ||
+				gotGroups[i].Score != wantGroups[i].Score {
+				t.Errorf("%d workers: subgroup %d differs: %s (size %d, score %v) vs %s (size %d, score %v)",
+					workers, i,
+					gotGroups[i].String(), gotGroups[i].Size, gotGroups[i].Score,
+					wantGroups[i].String(), wantGroups[i].Size, wantGroups[i].Score)
+			}
+		}
+		if ctr.Get(obs.DistUnits) == 0 {
+			t.Errorf("%d workers: dist_units = 0; scoring never reached the fleet", workers)
+		}
+		var units int64
+		for _, s := range srvs {
+			units += s.Stats().Units
+		}
+		if units == 0 {
+			t.Errorf("%d workers: no worker executed any unit", workers)
+		}
+		if workers == 4 {
+			// Sharding must actually spread: no single worker may have
+			// executed everything.
+			for i, s := range srvs {
+				if s.Stats().Units == units {
+					t.Errorf("worker %d executed all %d units; fleet never sharded", i, units)
+				}
+			}
+		}
+		if got := ctr.Get(obs.DistFallbacks); got != 0 {
+			t.Errorf("%d workers: dist_fallbacks = %d on a healthy fleet", workers, got)
+		}
+	}
+}
+
+// TestDistributedFlightsIdenticalUnderFaults repeats the acceptance test
+// against a 2-worker fleet injecting 20% HTTP 500s and 5ms latency per
+// request: faults cost retries — visible on the counters — but never change
+// a byte of the report.
+func TestDistributedFlightsIdenticalUnderFaults(t *testing.T) {
+	w := integrationWorld()
+
+	local := flightsSession(w, w.Graph, nil)
+	wantRep, err := local.Explain(flightsQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGroups, _, err := wantRep.Subgroups(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urls, srvs := startWorkerFleet(t, 2, distworker.Config{
+		FailRate: 0.2,
+		Latency:  5 * time.Millisecond,
+		Seed:     11,
+	})
+	ctr := obs.NewCounters()
+	opts := &nexus.Options{Metrics: ctr}
+	opts.Core.Scorer = distremote.New(urls, distremote.Options{
+		ChunkSize:   8,
+		MaxAttempts: 50,
+		RetryBase:   time.Millisecond,
+		RetryMax:    10 * time.Millisecond,
+		Counters:    ctr,
+	})
+	sess := flightsSession(w, w.Graph, opts)
+	gotRep, err := sess.Explain(flightsQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotGroups, _, err := gotRep.Subgroups(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := stableSummary(gotRep), stableSummary(wantRep); got != want {
+		t.Errorf("explanation differs under faults:\n--- faulted fleet ---\n%s\n--- local ---\n%s", got, want)
+	}
+	if len(gotGroups) != len(wantGroups) {
+		t.Fatalf("subgroups: %d faulted vs %d local", len(gotGroups), len(wantGroups))
+	}
+	for i := range wantGroups {
+		if gotGroups[i].String() != wantGroups[i].String() || gotGroups[i].Size != wantGroups[i].Size {
+			t.Errorf("subgroup %d differs: %s (size %d) vs %s (size %d)", i,
+				gotGroups[i].String(), gotGroups[i].Size, wantGroups[i].String(), wantGroups[i].Size)
+		}
+	}
+	injected := srvs[0].Stats().Injected + srvs[1].Stats().Injected
+	if injected == 0 {
+		t.Error("fault injection never fired; the test is not exercising the retry ladder")
+	}
+	if ctr.Get(obs.DistRetries) == 0 {
+		t.Errorf("faults injected (%d) but dist_retries = 0", injected)
+	}
+}

@@ -56,6 +56,15 @@ type Candidate struct {
 	// to the analytic debiased-CMI test.
 	Permute func(rng *stats.RNG) (*bins.Encoded, error)
 
+	// WirePerm marks Permute as the canonical row-level shuffle
+	// (ShuffleObserved of Enc's encoding): a permuted copy is a pure
+	// function of the encoding and an RNG seed, so a remote Scorer can
+	// reproduce it from the registered dataset. Candidates with a custom
+	// source-granularity Permute (KG attributes permute at entity level
+	// through their own closures) leave it false and keep the in-process
+	// permutation-test path.
+	WirePerm bool
+
 	// FastMarginalPerm optionally implements the marginal permutation
 	// relevance test (dependence of the candidate on the outcome against a
 	// source-granularity permutation null) more efficiently than generic
@@ -89,22 +98,14 @@ func FromColumn(col *table.Column, opts bins.Options) (*Candidate, error) {
 		return nil, fmt.Errorf("core: encoding column %q: %w", col.Name, err)
 	}
 	c := FromEncoded(enc, OriginInput)
+	// Row-level shuffle of observed codes among observed positions,
+	// preserving the missingness pattern (the valid null under biased
+	// missingness). ShuffleObserved is shared with the Scorer seam, so a
+	// worker reproduces the same permuted copy from the same seed.
 	c.Permute = func(rng *stats.RNG) (*bins.Encoded, error) {
-		// Shuffle observed codes among observed positions only, preserving
-		// the missingness pattern (the valid null under biased missingness).
-		codes := make([]int32, len(enc.Codes))
-		copy(codes, enc.Codes)
-		idx := make([]int, 0, len(codes))
-		for i, cd := range codes {
-			if cd != bins.Missing {
-				idx = append(idx, i)
-			}
-		}
-		rng.Shuffle(len(idx), func(a, b int) {
-			codes[idx[a]], codes[idx[b]] = codes[idx[b]], codes[idx[a]]
-		})
-		return &bins.Encoded{Name: enc.Name, Codes: codes, Card: enc.Card, Labels: enc.Labels}, nil
+		return ShuffleObserved(enc, rng), nil
 	}
+	c.WirePerm = true
 	// Raw-value uniqueness only matters for categorical columns (see the
 	// high-entropy prune); numeric columns are binned.
 	if col.Typ == table.String {

@@ -84,6 +84,79 @@ func permDependent(ctx context.Context, tr *obs.Trace, o *bins.Encoded, cand *Ca
 	return count <= allow, nil
 }
 
+// permDependentWire is permDependent routed through the Scorer seam for
+// wire-permutable candidates: same statistic, same seed schedule (the block
+// base and the per-permutation stride are unchanged), same early-exit
+// semantics — with Local the two paths are bit-identical, and a remote
+// scorer reproduces the block from the explicit seeds. The observed
+// statistic and the <= 0 shortcut stay on the coordinator, so a degenerate
+// candidate never costs a network round trip.
+func permDependentWire(ctx context.Context, tr *obs.Trace, scorer Scorer, sctx *ScoreContext, candIdx int, o *bins.Encoded, name string, given []infotheory.Var,
+	depth, b, allow int, seed uint64) (bool, error) {
+
+	tr.Add(obs.CITests, 1)
+	observed := infotheory.CondMutualInfo(o, sctx.Cands[candIdx], given, nil)
+	if observed <= 0 {
+		return false, nil
+	}
+	base := seed*0x9e3779b9 + uint64(depth)*1000003 + hashName(name)
+	seeds := make([]uint64, b)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)*0x45d9f3b
+	}
+	exceed, ran, err := scorer.PermBlock(ctx, sctx, PermSpec{
+		Cand: candIdx, Given: givenVar(given), Op: PermResp,
+		Observed: observed, Seeds: seeds, Allow: allow,
+	})
+	tr.Add(obs.PermutationsRun, int64(ran))
+	if err != nil {
+		return false, err
+	}
+	return countExceed(exceed) <= allow, nil
+}
+
+// gainSignificantWire is the calibrated gain test routed through the Scorer
+// seam (see permDependentWire for the equivalence argument).
+func gainSignificantWire(ctx context.Context, tr *obs.Trace, scorer Scorer, sctx *ScoreContext, candIdx int, name string, given []infotheory.Var,
+	b, allow int, seed uint64, iter int) (bool, error) {
+
+	tr.Add(obs.CITests, 1)
+	observed := infotheory.CondMutualInfo(sctx.O, sctx.T, append(append([]infotheory.Var{}, given...), sctx.Cands[candIdx]), nil)
+	base := seed*0x2545f491 + uint64(iter)*7919 + hashName(name)
+	seeds := make([]uint64, b)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)*0x9e3779b9
+	}
+	exceed, ran, err := scorer.PermBlock(ctx, sctx, PermSpec{
+		Cand: candIdx, Given: givenVar(given), Op: PermGain,
+		Observed: observed, Seeds: seeds, Allow: allow,
+	})
+	tr.Add(obs.PermutationsRun, int64(ran))
+	if err != nil {
+		return false, err
+	}
+	return countExceed(exceed) <= allow, nil
+}
+
+// givenVar unwraps the ≤1-element pre-joined conditioning set into the
+// single composite column a PermSpec carries.
+func givenVar(given []infotheory.Var) *bins.Encoded {
+	if len(given) == 0 {
+		return nil
+	}
+	return given[0]
+}
+
+func countExceed(exceed []bool) int {
+	n := 0
+	for _, e := range exceed {
+		if e {
+			n++
+		}
+	}
+	return n
+}
+
 func hashName(s string) uint64 {
 	var h uint64 = 1469598103934665603
 	for i := 0; i < len(s); i++ {

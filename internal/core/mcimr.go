@@ -80,6 +80,15 @@ type Options struct {
 	// (CI tests, permutations, per-rule prune drops). Nil disables
 	// instrumentation at near-zero cost.
 	Trace *obs.Trace
+	// Scorer routes the expensive inner loops — the relevance pass and the
+	// permutation-test blocks of wire-permutable candidates — through the
+	// distributed-scoring seam. Nil uses Local (the in-process oracle);
+	// results are byte-identical either way. Pruning and candidates with a
+	// custom source-granularity Permute always score in-process.
+	Scorer Scorer
+	// ScoreTag folds the session's dataset/KG identity into the
+	// ScoreContext fingerprint shipped to workers (see ScoreContext.Tag).
+	ScoreTag string
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -339,9 +348,19 @@ func mcimrCached(ctx context.Context, rc *runCache, t, o *bins.Encoded, cands []
 	states := make([]*state, len(cands))
 	baseScore := infotheory.MutualInfo(o, t, nil)
 	currentScore := baseScore
+	scorer := opts.Scorer
+	if scorer == nil {
+		scorer = Local{Parallelism: opts.Parallelism}
+	}
 
-	// Pass 1: individual relevance of every candidate (parallel).
+	// Pass 1: individual relevance of every candidate. Encodings and IPW
+	// weights materialize in parallel through the per-run cache, then the
+	// assembled ScoreContext — the immutable dataset a remote scorer ships
+	// to its workers once — is handed to the Scorer seam. Local evaluates
+	// the same per-candidate CMI the inline loop used to.
 	rsp := tr.Start("relevance-pass")
+	sctx := &ScoreContext{T: t, O: o, Tag: opts.ScoreTag,
+		Cands: make([]*bins.Encoded, len(cands)), Weights: make([][]float64, len(cands))}
 	parallelForCtx(ctx, len(cands), opts.Parallelism, func(i int) {
 		st := &state{cand: cands[i]}
 		states[i] = st
@@ -355,18 +374,31 @@ func mcimrCached(ctx context.Context, rc *runCache, t, o *bins.Encoded, cands []
 			st.err = err
 			return
 		}
-		st.relevance = infotheory.CondMutualInfo(o, t, []infotheory.Var{enc}, w)
+		sctx.Cands[i], sctx.Weights[i] = enc, w
 	})
-	tr.Add(obs.CandidatesScored, int64(len(cands)))
-	rsp.SetInt("candidates", int64(len(cands)))
-	rsp.End()
 	if err := ctx.Err(); err != nil {
+		rsp.End()
 		return nil, fmt.Errorf("core: MCIMR relevance pass: %w", err)
 	}
 	for _, st := range states {
 		if st.err != nil {
+			rsp.End()
 			return nil, fmt.Errorf("core: MCIMR relevance pass: %w", st.err)
 		}
+	}
+	all := make([]int, len(cands))
+	for i := range all {
+		all[i] = i
+	}
+	rel, err := scorer.Relevance(ctx, sctx, all)
+	tr.Add(obs.CandidatesScored, int64(len(cands)))
+	rsp.SetInt("candidates", int64(len(cands)))
+	rsp.End()
+	if err != nil {
+		return nil, fmt.Errorf("core: MCIMR relevance pass: %w", err)
+	}
+	for i, st := range states {
+		st.relevance = rel[i]
 	}
 
 	// Pre-joined composite of the selected prefix and its combined weights.
@@ -379,7 +411,7 @@ func mcimrCached(ctx context.Context, rc *runCache, t, o *bins.Encoded, cands []
 		return []infotheory.Var{selJoin}
 	}
 
-	evalOne := func(cst *state, iter int) *considerEval {
+	evalOne := func(cst *state, idx, iter int) *considerEval {
 		ev := &considerEval{}
 		ev.enc, ev.err = rc.enc(cst.cand)
 		if ev.err != nil {
@@ -392,7 +424,7 @@ func mcimrCached(ctx context.Context, rc *runCache, t, o *bins.Encoded, cands []
 		// Responsibility test (Lemma 4.2): O ⊥ E | selected means the
 		// attribute's responsibility would be ≈ 0.
 		if !opts.DisableStopping {
-			ind, err := respIndependent(ctx, o, cst.cand, ev.enc, ev.w, given(), selW, len(sel.Encs), opts, iter)
+			ind, err := respIndependent(ctx, o, cst.cand, ev.enc, ev.w, given(), selW, len(sel.Encs), opts, iter, scorer, sctx, idx)
 			if err != nil {
 				ev.err = err
 				return ev
@@ -410,7 +442,7 @@ func mcimrCached(ctx context.Context, rc *runCache, t, o *bins.Encoded, cands []
 		// MinGain threshold passed (currentScore is frozen per iteration).
 		ev.newScore = infotheory.CondMutualInfo(o, t, append(given(), ev.enc), combineWeights(selW, ev.w))
 		if !opts.DisableStopping && ev.newScore < currentScore-opts.MinGain*baseScore {
-			ev.gainOK, ev.err = gainSignificant(ctx, t, o, cst.cand, ev.enc, given(), opts, iter)
+			ev.gainOK, ev.err = gainSignificant(ctx, t, o, cst.cand, ev.enc, given(), opts, iter, scorer, sctx, idx)
 		}
 		return ev
 	}
@@ -477,7 +509,7 @@ func mcimrCached(ctx context.Context, rc *runCache, t, o *bins.Encoded, cands []
 			if len(batch) > 1 {
 				tr.Add(obs.SpeculativeEvals, int64(len(batch)-1))
 				parallelForCtx(ctx, len(batch), opts.Parallelism, func(bi int) {
-					evals[bi] = evalOne(states[batch[bi].idx], iter)
+					evals[bi] = evalOne(states[batch[bi].idx], batch[bi].idx, iter)
 				})
 			}
 			for bi := range batch {
@@ -492,7 +524,7 @@ func mcimrCached(ctx context.Context, rc *runCache, t, o *bins.Encoded, cands []
 				}
 				ev := evals[bi]
 				if ev == nil {
-					ev = evalOne(cst, iter) // serial path: evaluated under the span
+					ev = evalOne(cst, batch[bi].idx, iter) // serial path: evaluated under the span
 				} else if bi > 0 {
 					tr.Add(obs.SpeculativeWins, 1)
 				}
@@ -612,14 +644,24 @@ func mcimrCached(ctx context.Context, rc *runCache, t, o *bins.Encoded, cands []
 // depth the logical size of the prefix, used only for permutation-seed
 // derivation so the composite representation leaves the seed schedule
 // unchanged.
-func respIndependent(ctx context.Context, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, w []float64, given []infotheory.Var, selW []float64, depth int, opts Options, iter int) (bool, error) {
+// scorer and sctx route the permutation blocks of wire-permutable
+// candidates (idx into sctx.Cands) through the distributed-scoring seam;
+// Local reproduces the in-process path bit for bit.
+func respIndependent(ctx context.Context, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, w []float64, given []infotheory.Var, selW []float64, depth int, opts Options, iter int, scorer Scorer, sctx *ScoreContext, idx int) (bool, error) {
 	if cand.Permute == nil {
 		opts.Trace.Add(obs.CITests, 1)
 		testW := combineWeights(selW, w)
 		return infotheory.CondIndependent(o, enc, given, testW, opts.RespThreshold), nil
 	}
-	dependent, err := permDependent(ctx, opts.Trace, o, cand, enc, given, depth,
-		opts.PermTests, opts.PermAllow, opts.Parallelism, opts.Seed+uint64(iter))
+	var dependent bool
+	var err error
+	if cand.WirePerm {
+		dependent, err = permDependentWire(ctx, opts.Trace, scorer, sctx, idx, o, cand.Name, given,
+			depth, opts.PermTests, opts.PermAllow, opts.Seed+uint64(iter))
+	} else {
+		dependent, err = permDependent(ctx, opts.Trace, o, cand, enc, given, depth,
+			opts.PermTests, opts.PermAllow, opts.Parallelism, opts.Seed+uint64(iter))
+	}
 	if err != nil {
 		return false, err
 	}
@@ -635,9 +677,13 @@ func respIndependent(ctx context.Context, o *bins.Encoded, cand *Candidate, enc 
 // Permute pass (MinGain already screened them). given is the pre-joined
 // selected prefix; a Permute failure propagates as an error instead of
 // silently counting against the candidate.
-func gainSignificant(ctx context.Context, t, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, given []infotheory.Var, opts Options, iter int) (bool, error) {
+func gainSignificant(ctx context.Context, t, o *bins.Encoded, cand *Candidate, enc *bins.Encoded, given []infotheory.Var, opts Options, iter int, scorer Scorer, sctx *ScoreContext, idx int) (bool, error) {
 	if cand.Permute == nil {
 		return true, nil
+	}
+	if cand.WirePerm {
+		return gainSignificantWire(ctx, opts.Trace, scorer, sctx, idx, cand.Name, given,
+			opts.GainPermTests, opts.PermAllow, opts.Seed, iter)
 	}
 	opts.Trace.Add(obs.CITests, 1)
 	observed := infotheory.CondMutualInfo(o, t, append(append([]infotheory.Var{}, given...), enc), nil)

@@ -125,6 +125,18 @@ const (
 	// retryable failures.
 	KGHTTPRequests = "kg_http_requests"
 	KGHTTPRetries  = "kg_http_retries"
+	// DistUnits counts work units dispatched by the distributed scoring
+	// coordinator (internal/distremote); DistRetries counts re-attempts
+	// after a failed unit attempt, DistHedges counts speculative duplicate
+	// dispatches to a second worker when the primary straggles, and
+	// DistFallbacks counts units computed locally after exhausting every
+	// worker attempt. DistHTTPRequests counts every HTTP request issued to
+	// the worker fleet (registrations, scores, retries, hedges).
+	DistUnits        = "dist_units"
+	DistRetries      = "dist_retries"
+	DistHedges       = "dist_hedges"
+	DistFallbacks    = "dist_fallbacks"
+	DistHTTPRequests = "dist_http_requests"
 	// CountingDensePasses / CountingSparsePasses count tally passes served
 	// by the unified counting kernel's dense-array fast path versus its
 	// hash-map fallback (internal/counting). CountingIDJoins counts composite

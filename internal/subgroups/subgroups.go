@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"nexus/internal/bins"
+	"nexus/internal/core"
 	"nexus/internal/counting"
 	"nexus/internal/infotheory"
 	"nexus/internal/obs"
@@ -111,6 +112,15 @@ type Options struct {
 	// Weights are optional IPW weights over the analysis view. When set,
 	// the slice must cover every view row.
 	Weights []float64
+	// Scorer, when non-nil, routes frontier-batch scoring through the
+	// core.Scorer seam — e.g. a distremote.Scorer fanning the batch out to
+	// a worker fleet. Workers re-derive each group's row set by the same
+	// ascending scan the coordinator uses, so results stay byte-identical
+	// to in-process scoring at any fleet size. Nil scores in process.
+	Scorer core.Scorer
+	// ScoreTag qualifies the dataset fingerprint shipped to remote scoring
+	// workers (see core.ScoreContext.Tag). Ignored when Scorer is nil.
+	ScoreTag string
 	// Trace, when non-nil, receives a lattice-search span and node counters.
 	Trace *obs.Trace
 	// Counters, when non-nil and Trace is nil, receives the node counters
@@ -242,6 +252,15 @@ func TopUnexplainedCtx(ctx context.Context, t, o *bins.Encoded, explanation []*b
 	}
 	rc := newRowsetCache(attrs, allRows)
 	sc := newScorer(t, o, explanation, opts.Weights, n, opts.Parallelism)
+	if opts.Scorer != nil {
+		attrEncs := make([]*bins.Encoded, len(attrs))
+		for i, a := range attrs {
+			attrEncs[i] = a.Enc
+		}
+		sc.remote = opts.Scorer
+		sc.gc = &core.GroupContext{T: t, O: o, Explanation: explanation,
+			Attrs: attrEncs, Base: opts.Weights, Tag: opts.ScoreTag}
+	}
 	root := Group{Size: n}
 	pushChildren(h, root, allRows, attrs, &opts, &stats, rc)
 
@@ -363,6 +382,11 @@ type scorer struct {
 	scores      map[string]float64
 	scratch     [][]float64 // one per worker slot, each sized to the view
 	n           int
+
+	// remote/gc, when set, route whole frontier batches through the
+	// core.Scorer seam instead of the in-process worker pool.
+	remote core.Scorer
+	gc     *core.GroupContext
 }
 
 func newScorer(t, o *bins.Encoded, explanation []*bins.Encoded, base []float64, n, parallelism int) *scorer {
@@ -398,6 +422,30 @@ func (s *scorer) scoreBatch(ctx context.Context, batch []Group, rc *rowsetCache,
 		}
 	}
 	if len(todo) == 0 {
+		return ctx.Err()
+	}
+	if s.remote != nil {
+		// Remote scoring: ship the batch as (attr, code) condition specs.
+		// The worker re-derives each row set by an ascending view scan —
+		// the same order rc.rows produces — so the scores are the bits the
+		// in-process path computes. rowset_cache_hits stays flat in this
+		// mode (row sets are derived worker-side, not looked up here).
+		specs := make([]core.GroupSpec, len(todo))
+		for i, g := range todo {
+			conds := make([]core.GroupCond, len(g.Conds))
+			for j, c := range g.Conds {
+				conds[j] = core.GroupCond{Attr: c.AttrIdx, Code: c.Code}
+			}
+			specs[i] = core.GroupSpec{Conds: conds}
+		}
+		remoteVals, err := s.remote.SubgroupBatch(ctx, s.gc, specs)
+		if err != nil {
+			return err
+		}
+		for i, g := range todo {
+			s.scores[g.key] = remoteVals[i]
+		}
+		opts.addCounter(obs.GroupsScored, int64(len(todo)))
 		return ctx.Err()
 	}
 	vals := make([]float64, len(todo))
@@ -506,18 +554,11 @@ func pushChildren(h *groupHeap, g Group, gRows []int, attrs []RefinementAttr, op
 // index into it (never into per-attribute bin space), so a refinement
 // attribute with more bins than the exposure/outcome encodings cannot
 // overrun it — pinned by TestTopUnexplainedWideRefinementAttr.
+//
+// The body lives in core.ScoreGroupRows so that remote scoring workers run
+// the exact function the in-process path runs.
 func scoreGroup(t, o *bins.Encoded, explanation []*bins.Encoded, rows []int, base []float64, scratch []float64) float64 {
-	for i := range scratch {
-		scratch[i] = 0
-	}
-	for _, r := range rows {
-		if base != nil {
-			scratch[r] = base[r]
-		} else {
-			scratch[r] = 1
-		}
-	}
-	return infotheory.CondMutualInfoDebiased(o, t, explanation, scratch)
+	return core.ScoreGroupRows(t, o, explanation, rows, base, scratch)
 }
 
 // groupHeap is a max-heap of groups by size. Ties are broken on a total

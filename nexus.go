@@ -85,13 +85,16 @@ func (o *Options) applyDefaults() {
 	if o.Core.K == 0 {
 		// A zero K means the caller did not configure Core; swap in the
 		// paper defaults but keep the knobs that are meaningful on their
-		// own (the prune toggles and Parallelism — a -parallelism CLI flag
-		// must not be silently dropped just because K was left default).
+		// own (the prune toggles, Parallelism and the scoring seam — a
+		// -parallelism or -dist-workers CLI flag must not be silently
+		// dropped just because K was left default).
 		k := o.Core
 		o.Core = core.DefaultOptions()
 		o.Core.DisableOfflinePrune = k.DisableOfflinePrune
 		o.Core.DisableOnlinePrune = k.DisableOnlinePrune
 		o.Core.Parallelism = k.Parallelism
+		o.Core.Scorer = k.Scorer
+		o.Core.ScoreTag = k.ScoreTag
 	}
 	if o.Hops == 0 {
 		o.Hops = 1

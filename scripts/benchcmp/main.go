@@ -1,5 +1,6 @@
 // Command benchcmp compares two bench-profile JSON documents (BENCH_obs.json
-// / BENCH_kg.json / BENCH_serve.json / BENCH_scale.json) and exits non-zero
+// / BENCH_kg.json / BENCH_serve.json / BENCH_scale.json / BENCH_dist.json)
+// and exits non-zero
 // when the fresh run regresses against the committed baseline.
 // scripts/check_bench.sh drives it in CI.
 //
@@ -35,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -54,10 +56,19 @@ func main() {
 		os.Exit(2)
 	}
 	oldM, err := load(*oldPath)
+	if os.IsNotExist(err) {
+		// The usual cause is a brand-new profile: the emitting test exists
+		// but its baseline was never committed, so say exactly that instead
+		// of a bare ENOENT.
+		fatal(fmt.Errorf("missing baseline %s — run the profile test once and commit the generated %s first", *oldPath, filepath.Base(*oldPath)))
+	}
 	if err != nil {
 		fatal(err)
 	}
 	newM, err := load(*newPath)
+	if os.IsNotExist(err) {
+		fatal(fmt.Errorf("missing fresh profile %s — did the emitting bench test run (and pass) before the comparison?", *newPath))
+	}
 	if err != nil {
 		fatal(err)
 	}

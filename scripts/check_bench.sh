@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI bench-regression gate: re-generate the bench profiles (BENCH_obs.json,
-# BENCH_kg.json, BENCH_serve.json, BENCH_scale.json) on this machine and
-# compare them against
+# BENCH_kg.json, BENCH_serve.json, BENCH_scale.json, BENCH_dist.json) on
+# this machine and compare them against
 # the committed baselines with scripts/benchcmp. Deterministic counters must
 # stay within
 # 25% (they should match exactly — a drift means the baseline was not
@@ -19,19 +19,28 @@ cd "$(dirname "$0")/.."
 WALL_TOL="${BENCH_WALL_TOLERANCE:-0.25}"
 COUNTER_TOL="${BENCH_COUNTER_TOLERANCE:-0.25}"
 
+PROFILES="BENCH_obs.json BENCH_kg.json BENCH_serve.json BENCH_scale.json BENCH_dist.json"
+
 snap=$(mktemp -d)
 restore() {
-    cp "$snap"/BENCH_obs.json "$snap"/BENCH_kg.json "$snap"/BENCH_serve.json "$snap"/BENCH_scale.json . 2>/dev/null || true
+    for f in $PROFILES; do
+        cp "$snap/$f" . 2>/dev/null || true
+    done
     rm -rf "$snap"
 }
 trap restore EXIT
-cp BENCH_obs.json BENCH_kg.json BENCH_serve.json BENCH_scale.json "$snap"/
+# Snapshot each committed baseline individually: a missing one is not a cp
+# error here — benchcmp reports it below with a clear "commit the baseline"
+# message instead.
+for f in $PROFILES; do
+    cp "$f" "$snap/" 2>/dev/null || true
+done
 
 echo "== regenerating bench profiles =="
-go test -run 'TestBenchObsJSON|TestBenchKGJSON|TestBenchServeJSON|TestBenchScaleJSON' -count=1 .
+go test -run 'TestBenchObsJSON|TestBenchKGJSON|TestBenchServeJSON|TestBenchScaleJSON|TestBenchDistJSON' -count=1 .
 
 status=0
-for f in BENCH_obs.json BENCH_kg.json BENCH_serve.json BENCH_scale.json; do
+for f in $PROFILES; do
     echo "== comparing $f (counters ±${COUNTER_TOL}, wall +${WALL_TOL}) =="
     # BENCH_obs.json must carry the unified counting kernel's metrics: the
     # counting_* effort counters and the counting_ns wall-clock entry. A
@@ -44,6 +53,12 @@ for f in BENCH_obs.json BENCH_kg.json BENCH_serve.json BENCH_scale.json; do
     # wall-clock, chunk geometry and the resident-chunk-bytes memory proxy.
     if [ "$f" = BENCH_scale.json ]; then
         require="ingest_ns,explain_ns,ingest_chunks,dict_entries,chunk_bytes"
+    fi
+    # BENCH_dist.json must carry the scoring-fleet profile: the dispatched
+    # work-unit counters and the per-fleet wall clock. A refactor that stops
+    # routing scoring through the distremote coordinator fails here.
+    if [ "$f" = BENCH_dist.json ]; then
+        require="dist_units,dist_wall_ns"
     fi
     go run ./scripts/benchcmp \
         -old "$snap/$f" -new "$f" \

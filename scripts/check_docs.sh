@@ -100,6 +100,10 @@ require_section docs/BENCHMARKS.md '## Running the gate and regenerating baselin
 require_section docs/ARCHITECTURE.md '## Columnar data engine'
 require_section docs/BENCHMARKS.md '### BENCH_scale.json'
 require_section README.md '### Paper-scale quickstart'
+require_section docs/ARCHITECTURE.md '## Distributed scoring'
+require_section docs/OPERATIONS.md '## nexusw flags'
+require_section docs/BENCHMARKS.md '### BENCH_dist.json'
+require_section README.md '### Distributed scoring fleet'
 
 if [ "$fail" -ne 0 ]; then
     exit 1
